@@ -1,0 +1,14 @@
+// Appendix A reproduction (Fig 12 + Table X): average (unbounded) job
+// slowdown — like bounded slowdown but without the 10-second interactive
+// threshold, so short jobs inflate the values.
+#include "bench_common.hpp"
+int main() {
+  using rlsched::sim::Metric;
+  int rc = rlsched::bench::run_training_curves(
+      "Fig 12: training curves, job slowdown", Metric::Slowdown,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+  rc |= rlsched::bench::run_scheduling_table(
+      "Table X: scheduling towards job slowdown", Metric::Slowdown,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+  return rc;
+}

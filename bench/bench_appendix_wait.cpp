@@ -1,0 +1,12 @@
+// Appendix B reproduction (Fig 13 + Table XI): average job waiting time.
+#include "bench_common.hpp"
+int main() {
+  using rlsched::sim::Metric;
+  int rc = rlsched::bench::run_training_curves(
+      "Fig 13: training curves, job waiting time", Metric::WaitTime,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+  rc |= rlsched::bench::run_scheduling_table(
+      "Table XI: scheduling towards job waiting time", Metric::WaitTime,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+  return rc;
+}

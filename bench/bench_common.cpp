@@ -1,0 +1,226 @@
+#include "bench_common.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace rlsched::bench {
+
+Scale bench_scale() {
+  Scale s;
+  s.epochs = static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_EPOCHS", 15));
+  s.trajectories =
+      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_TRAJ", 12));
+  s.pi_iters =
+      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_PI_ITERS", 10));
+  s.minibatch =
+      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_MINIBATCH", 512));
+  s.eval_seqs =
+      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_EVAL_SEQS", 5));
+  s.eval_len =
+      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_EVAL_LEN", 512));
+  s.seed = static_cast<std::uint64_t>(util::env_long("RLSCHED_BENCH_SEED", 42));
+  s.model_dir = util::env_string("RLSCHED_MODEL_DIR", "rlsched_models");
+  return s;
+}
+
+namespace {
+core::RLSchedulerConfig scheduler_config(sim::Metric metric,
+                                         rl::PolicyKind policy, bool filter,
+                                         const Scale& scale) {
+  core::RLSchedulerConfig cfg;
+  cfg.metric = metric;
+  cfg.policy = policy;
+  cfg.trajectory_filtering = filter;
+  cfg.seq_len = 256;  // paper SS V-A: 256 jobs per training trajectory
+  cfg.trajectories_per_epoch = scale.trajectories;
+  cfg.pi_iters = scale.pi_iters;
+  cfg.v_iters = scale.pi_iters;
+  cfg.minibatch = scale.minibatch;
+  cfg.seed = scale.seed;
+  return cfg;
+}
+
+std::string cache_key(const std::string& trace_name, sim::Metric metric,
+                      rl::PolicyKind policy, bool filter, const Scale& s) {
+  std::ostringstream key;
+  key << trace_name << '_' << sim::metric_name(metric) << '_';
+  for (const char c : rl::policy_kind_name(policy)) {
+    key << (std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+  }
+  key << (filter ? "_filt" : "_nofilt") << "_e" << s.epochs << "_t"
+      << s.trajectories << "_i" << s.pi_iters << "_m" << s.minibatch << "_s"
+      << s.seed;
+  return key.str();
+}
+}  // namespace
+
+TrainedModel train_or_load(const std::string& trace_name, sim::Metric metric,
+                           rl::PolicyKind policy, bool filter,
+                           const Scale& scale) {
+  auto trace = workload::make_trace(trace_name, 10000, scale.seed);
+  TrainedModel out;
+  out.scheduler = std::make_unique<core::RLScheduler>(
+      trace, scheduler_config(metric, policy, filter, scale));
+
+  const std::string key = cache_key(trace_name, metric, policy, filter, scale);
+  const std::filesystem::path dir(scale.model_dir);
+  const auto model_path = dir / (key + ".model.txt");
+  const auto curve_path = dir / (key + ".curve.csv");
+
+  if (std::filesystem::exists(model_path)) {
+    out.scheduler->load(model_path.string());
+    out.from_cache = true;
+    std::ifstream curve(curve_path);
+    double v = 0.0;
+    while (curve >> v) out.curve.push_back(v);
+    return out;
+  }
+
+  const auto history = out.scheduler->train(scale.epochs);
+  for (const auto& e : history.epochs) out.curve.push_back(e.avg_metric);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (!ec) {
+    out.scheduler->save(model_path.string());
+    std::ofstream curve(curve_path);
+    curve << std::setprecision(10);
+    for (const double v : out.curve) curve << v << '\n';
+  }
+  return out;
+}
+
+std::vector<std::vector<trace::Job>> eval_sequences(const trace::Trace& trace,
+                                                    std::size_t n,
+                                                    std::size_t len,
+                                                    std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xEEA1ULL);
+  std::vector<std::vector<trace::Job>> seqs;
+  seqs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seqs.push_back(trace.sample_sequence(rng, len));
+  }
+  return seqs;
+}
+
+double heuristic_value(const std::vector<trace::Job>& seq, int processors,
+                       const sim::PriorityFn& priority, bool backfill,
+                       sim::Metric metric) {
+  sim::EnvConfig cfg;
+  cfg.backfill = backfill;
+  sim::SchedulingEnv env(processors, cfg);
+  env.reset(seq);
+  return env.run_priority(priority).value(metric);
+}
+
+double heuristic_avg(const std::vector<std::vector<trace::Job>>& seqs,
+                     int processors, const sim::PriorityFn& priority,
+                     bool backfill, sim::Metric metric) {
+  double sum = 0.0;
+  for (const auto& s : seqs) {
+    sum += heuristic_value(s, processors, priority, backfill, metric);
+  }
+  return seqs.empty() ? 0.0 : sum / static_cast<double>(seqs.size());
+}
+
+double rl_avg(const core::RLScheduler& model,
+              const std::vector<std::vector<trace::Job>>& seqs,
+              int processors, bool backfill, sim::Metric metric) {
+  double sum = 0.0;
+  for (const auto& s : seqs) {
+    sum += model.schedule_on(s, processors, backfill).value(metric);
+  }
+  return seqs.empty() ? 0.0 : sum / static_cast<double>(seqs.size());
+}
+
+std::string cell(double v) {
+  std::ostringstream out;
+  if (v >= 100.0) {
+    out << std::fixed << std::setprecision(0) << v;
+  } else if (v >= 1.0) {
+    out << std::fixed << std::setprecision(2) << v;
+  } else {
+    out << std::fixed << std::setprecision(3) << v;
+  }
+  return out.str();
+}
+
+int run_training_curves(const std::string& title, sim::Metric metric,
+                        const std::vector<std::string>& traces) {
+  const auto scale = bench_scale();
+  util::Table table(title + " (cells: avg " + sim::metric_name(metric) +
+                    " of the epoch's sampled sequences)");
+  std::vector<std::string> header = {"epoch"};
+  for (const auto& t : traces) header.push_back(t);
+  table.set_header(header);
+
+  std::vector<std::vector<double>> curves;
+  for (const auto& t : traces) {
+    curves.push_back(
+        train_or_load(t, metric, rl::PolicyKind::Kernel, false, scale).curve);
+  }
+  for (std::size_t e = 0; e < scale.epochs; ++e) {
+    std::vector<std::string> row = {std::to_string(e)};
+    for (const auto& c : curves) {
+      row.push_back(e < c.size() ? cell(c[e]) : "-");
+    }
+    table.add_row(row);
+  }
+  std::cout << table << '\n';
+  std::cout << "first->last epoch: ";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (!curves[i].empty()) {
+      std::cout << traces[i] << " " << cell(curves[i].front()) << "->"
+                << cell(curves[i].back()) << "  ";
+    }
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int run_scheduling_table(const std::string& title, sim::Metric metric,
+                         const std::vector<std::string>& traces) {
+  const auto scale = bench_scale();
+  const auto heuristics = sched::all_heuristics();
+
+  for (const bool backfill : {false, true}) {
+    util::Table table(title + (backfill ? " - with backfilling"
+                                        : " - without backfilling"));
+    std::vector<std::string> header = {"Trace"};
+    for (const auto& h : heuristics) header.push_back(h.name);
+    header.push_back("RL");
+    table.set_header(header);
+
+    for (const auto& t : traces) {
+      const auto trace = workload::make_trace(t, 10000, scale.seed);
+      const auto seqs =
+          eval_sequences(trace, scale.eval_seqs, scale.eval_len, scale.seed);
+      std::vector<double> values;
+      for (const auto& h : heuristics) {
+        values.push_back(heuristic_avg(seqs, trace.processors(), h.priority,
+                                       backfill, metric));
+      }
+      auto model =
+          train_or_load(t, metric, rl::PolicyKind::Kernel, false, scale);
+      values.push_back(rl_avg(*model.scheduler, seqs, trace.processors(),
+                              backfill, metric));
+      std::vector<std::string> row = {t};
+      for (const double v : values) row.push_back(cell(v));
+      table.add_row(row);
+    }
+    std::cout << table << '\n';
+  }
+  std::cout << "protocol: " << scale.eval_seqs << " random sequences of "
+            << scale.eval_len << " jobs per trace, shared across schedulers\n"
+            << "(paper: 10 sequences of 1024 jobs; set RLSCHED_BENCH_EVAL_*"
+               " env vars for paper scale)\n";
+  return 0;
+}
+
+}  // namespace rlsched::bench

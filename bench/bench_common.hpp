@@ -1,0 +1,100 @@
+#pragma once
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Scaling: the paper trains for ~100 epochs of 100x256-job trajectories on a
+// multi-core Xeon; this harness defaults to a reduced budget that finishes
+// on a single laptop core while preserving the qualitative shape of every
+// result. Environment variables restore paper scale:
+//
+//   RLSCHED_BENCH_EPOCHS     training epochs per model          (default 6)
+//   RLSCHED_BENCH_TRAJ       trajectories per epoch             (default 10)
+//   RLSCHED_BENCH_PI_ITERS   policy/value update iters          (default 10)
+//   RLSCHED_BENCH_MINIBATCH  transitions per update iteration   (default 512)
+//   RLSCHED_BENCH_EVAL_SEQS  evaluation sequences per cell      (default 5)
+//   RLSCHED_BENCH_EVAL_LEN   jobs per evaluation sequence       (default 512)
+//   RLSCHED_BENCH_SEED       master seed                        (default 42)
+//   RLSCHED_MODEL_DIR        trained-model cache directory
+//                            (default ./rlsched_models)
+//
+// Paper scale: EPOCHS=100 TRAJ=100 PI_ITERS=80 MINIBATCH=0 EVAL_SEQS=10
+// EVAL_LEN=1024.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rlscheduler.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/env.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rlsched::bench {
+
+struct Scale {
+  std::size_t epochs;
+  std::size_t trajectories;
+  std::size_t pi_iters;
+  std::size_t minibatch;
+  std::size_t eval_seqs;
+  std::size_t eval_len;
+  std::uint64_t seed;
+  std::string model_dir;
+};
+
+/// Read the scale from the environment (defaults above).
+Scale bench_scale();
+
+/// Trained model plus its per-epoch metric curve.
+struct TrainedModel {
+  std::unique_ptr<core::RLScheduler> scheduler;
+  std::vector<double> curve;  ///< avg metric per epoch (empty if cache hit
+                              ///< and curve file missing)
+  bool from_cache = false;
+};
+
+/// Train an RLScheduler on `trace_name` for the given goal, or load it from
+/// the on-disk cache when an identical configuration was trained before.
+/// The cache key covers every input that affects the result.
+TrainedModel train_or_load(const std::string& trace_name, sim::Metric metric,
+                           rl::PolicyKind policy, bool filter,
+                           const Scale& scale);
+
+/// The paper's standard evaluation protocol: `n` random contiguous
+/// sequences of `len` jobs from the trace, shared across schedulers.
+std::vector<std::vector<trace::Job>> eval_sequences(const trace::Trace& trace,
+                                                    std::size_t n,
+                                                    std::size_t len,
+                                                    std::uint64_t seed);
+
+/// Metric of one heuristic on one sequence.
+double heuristic_value(const std::vector<trace::Job>& seq, int processors,
+                       const sim::PriorityFn& priority, bool backfill,
+                       sim::Metric metric);
+
+/// Average metric of a heuristic over shared sequences.
+double heuristic_avg(const std::vector<std::vector<trace::Job>>& seqs,
+                     int processors, const sim::PriorityFn& priority,
+                     bool backfill, sim::Metric metric);
+
+/// Average metric of a trained RL model over shared sequences (optionally on
+/// a foreign cluster size, for the generalization table).
+double rl_avg(const core::RLScheduler& model,
+              const std::vector<std::vector<trace::Job>>& seqs,
+              int processors, bool backfill, sim::Metric metric);
+
+/// Pretty float for table cells.
+std::string cell(double v);
+
+/// Shared driver for the training-curve figures (Figs 10-13): train (or
+/// load) one kernel-policy model per trace for `metric` and print the
+/// per-epoch metric curves side by side.
+int run_training_curves(const std::string& title, sim::Metric metric,
+                        const std::vector<std::string>& traces);
+
+/// Shared driver for the scheduling-results tables (Tables V, VI, X, XI):
+/// evaluate the five heuristics plus the RL model trained on each trace,
+/// with and without backfilling, and print the paper's row layout.
+int run_scheduling_table(const std::string& title, sim::Metric metric,
+                         const std::vector<std::string>& traces);
+
+}  // namespace rlsched::bench

@@ -1,0 +1,11 @@
+// Fig 10 reproduction: RLScheduler training curves targeting average
+// bounded slowdown on two real-world-like (HPC2N, SDSC-SP2) and two
+// synthetic (Lublin-1, Lublin-2) workloads. Paper result: convergence on
+// all four within the epoch budget, with per-trace convergence patterns.
+#include "bench_common.hpp"
+int main() {
+  return rlsched::bench::run_training_curves(
+      "Fig 10: training curves, bounded slowdown",
+      rlsched::sim::Metric::BoundedSlowdown,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+}

@@ -1,0 +1,10 @@
+// Fig 11 reproduction: training curves targeting resource utilization.
+// Paper result: still converges, but with more bumps — utilization has a
+// narrow range, so variance is proportionally more visible.
+#include "bench_common.hpp"
+int main() {
+  return rlsched::bench::run_training_curves(
+      "Fig 11: training curves, resource utilization",
+      rlsched::sim::Metric::Utilization,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+}

@@ -1,0 +1,12 @@
+// Table V reproduction: average bounded slowdown of FCFS/WFP3/UNICEP/SJF/F1
+// and RLScheduler on four workloads, with and without backfilling.
+// Shape targets from the paper: heuristics are inconsistent across traces
+// (e.g. SJF best on Lublin-2, worst on SDSC-SP2 with backfilling); RL is
+// best or close-to-best everywhere.
+#include "bench_common.hpp"
+int main() {
+  return rlsched::bench::run_scheduling_table(
+      "Table V: scheduling towards bounded slowdown",
+      rlsched::sim::Metric::BoundedSlowdown,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+}

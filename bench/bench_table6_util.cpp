@@ -1,0 +1,11 @@
+// Table VI reproduction: resource utilization of the five heuristics and
+// RLScheduler (trained on the utilization reward) on four workloads.
+// Shape targets: utilization is the more stable metric — differences across
+// schedulers are small — and a heuristic that wins on bsld can lose here.
+#include "bench_common.hpp"
+int main() {
+  return rlsched::bench::run_scheduling_table(
+      "Table VI: scheduling towards resource utilization",
+      rlsched::sim::Metric::Utilization,
+      {"Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"});
+}

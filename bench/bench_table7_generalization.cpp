@@ -1,0 +1,70 @@
+// Table VII reproduction: apply the model RL-X (trained on trace X) to
+// every trace Y, against the best and worst heuristic on Y. The paper's
+// stability claim (SS V-E): a transplanted model degrades in a controlled
+// way — never worse than picking an inappropriate heuristic.
+#include <iostream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rlsched;
+  const auto scale = bench::bench_scale();
+  const std::vector<std::string> model_traces = {"Lublin-1", "SDSC-SP2",
+                                                 "HPC2N", "Lublin-2"};
+  const std::vector<std::string> eval_traces = {
+      "Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2", "ANL-Intrepid"};
+  const auto metric = sim::Metric::BoundedSlowdown;
+
+  // Train (or load) the four models once.
+  std::vector<bench::TrainedModel> models;
+  for (const auto& t : model_traces) {
+    models.push_back(bench::train_or_load(t, metric, rl::PolicyKind::Kernel,
+                                          false, scale));
+  }
+
+  for (const bool backfill : {false, true}) {
+    util::Table table(std::string("Table VII: RL-X applied to trace Y, "
+                                  "bounded slowdown") +
+                      (backfill ? " - with backfilling"
+                                : " - without backfilling"));
+    std::vector<std::string> header = {"Trace", "Best Heur", "Worst Heur"};
+    for (const auto& t : model_traces) header.push_back("RL-" + t);
+    table.set_header(header);
+
+    for (const auto& y : eval_traces) {
+      const auto trace = workload::make_trace(y, 10000, scale.seed);
+      const auto seqs = bench::eval_sequences(trace, scale.eval_seqs,
+                                              scale.eval_len, scale.seed);
+      double best = std::numeric_limits<double>::infinity();
+      double worst = 0.0;
+      std::string best_name, worst_name;
+      for (const auto& h : sched::all_heuristics()) {
+        const double v = bench::heuristic_avg(seqs, trace.processors(),
+                                              h.priority, backfill, metric);
+        if (v < best) {
+          best = v;
+          best_name = h.name;
+        }
+        if (v > worst) {
+          worst = v;
+          worst_name = h.name;
+        }
+      }
+      std::vector<std::string> row = {
+          y, bench::cell(best) + " (" + best_name + ")",
+          bench::cell(worst) + " (" + worst_name + ")"};
+      for (const auto& m : models) {
+        row.push_back(bench::cell(bench::rl_avg(
+            *m.scheduler, seqs, trace.processors(), backfill, metric)));
+      }
+      table.add_row(row);
+    }
+    std::cout << table << "\n";
+  }
+  std::cout << "(paper: every RL-X lands between the best and worst\n"
+               "heuristic on every Y — transplanted models degrade\n"
+               "gracefully, never catastrophically)\n";
+  return 0;
+}

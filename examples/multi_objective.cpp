@@ -1,0 +1,69 @@
+// Scenario: optimize several goals at once (paper SS V-F). A production
+// operator wants low job slowdown AND high machine utilization; no fixed
+// heuristic can be re-weighted between those goals, but RLScheduler just
+// takes a different reward. This example trains two policies — slowdown-only
+// and a weighted slowdown+utilization composite — and shows the trade-off
+// on held-out sequences.
+//
+// Usage: ./multi_objective [epochs] [util_weight]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/rlscheduler.hpp"
+#include "util/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlsched;
+  const std::size_t epochs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const double util_weight =
+      argc > 2 ? std::strtod(argv[2], nullptr) : 200.0;
+
+  auto trace = workload::make_trace("Lublin-1", 10000, 42);
+
+  core::RLSchedulerConfig base;
+  base.trajectories_per_epoch = 10;
+  base.pi_iters = 10;
+  base.v_iters = 10;
+  base.minibatch = 512;
+
+  // Policy A: minimize bounded slowdown only.
+  core::RLScheduler slowdown_only(trace, base);
+
+  // Policy B: slowdown + utilization, weighted so both terms have
+  // comparable scale (bsld is O(100), util is O(1)).
+  auto combo_cfg = base;
+  combo_cfg.composite = rl::CompositeReward(
+      {{sim::Metric::BoundedSlowdown, 1.0},
+       {sim::Metric::Utilization, util_weight}});
+  core::RLScheduler combined(trace, combo_cfg);
+
+  std::cout << "training policy A (reward: -bsld) and policy B (reward: "
+            << combo_cfg.composite.describe() << ") for " << epochs
+            << " epochs each...\n";
+  slowdown_only.train(epochs);
+  combined.train(epochs);
+
+  util::Rng rng(5);
+  std::vector<std::vector<trace::Job>> seqs;
+  for (int i = 0; i < 5; ++i) seqs.push_back(trace.sample_sequence(rng, 512));
+
+  util::Table table("held-out performance (5 x 512-job sequences, backfill)");
+  table.set_header({"Policy", "avg bsld", "utilization"});
+  const std::pair<core::RLScheduler*, std::string> entries[] = {
+      {&slowdown_only, "A: bsld only"}, {&combined, "B: bsld + util"}};
+  for (const auto& [policy, label] : entries) {
+    double bsld = 0.0, util = 0.0;
+    for (const auto& seq : seqs) {
+      const auto r = policy->schedule(seq, true);
+      bsld += r.avg_bounded_slowdown / 5.0;
+      util += r.utilization / 5.0;
+    }
+    table.add_row(
+        {label, util::Table::fmt(bsld, 5), util::Table::fmt(util, 4)});
+  }
+  std::cout << table
+            << "\nTune the weight (argv[2]) to move along the trade-off; no\n"
+               "scheduler code changes required — only the reward.\n";
+  return 0;
+}
