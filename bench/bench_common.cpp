@@ -12,19 +12,24 @@
 namespace rlsched::bench {
 
 Scale bench_scale() {
+  // Every knob goes through the validated parser: garbage falls back to
+  // the default, and values destined for std::size_t are clamped
+  // non-negative so they can never wrap to huge budgets.
   Scale s;
-  s.epochs = static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_EPOCHS", 15));
-  s.trajectories =
-      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_TRAJ", 12));
-  s.pi_iters =
-      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_PI_ITERS", 10));
-  s.minibatch =
-      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_MINIBATCH", 512));
-  s.eval_seqs =
-      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_EVAL_SEQS", 5));
-  s.eval_len =
-      static_cast<std::size_t>(util::env_long("RLSCHED_BENCH_EVAL_LEN", 512));
-  s.seed = static_cast<std::uint64_t>(util::env_long("RLSCHED_BENCH_SEED", 42));
+  s.epochs = static_cast<std::size_t>(
+      util::env_long("RLSCHED_BENCH_EPOCHS", 15, 0));
+  s.trajectories = static_cast<std::size_t>(
+      util::env_long("RLSCHED_BENCH_TRAJ", 12, 1));
+  s.pi_iters = static_cast<std::size_t>(
+      util::env_long("RLSCHED_BENCH_PI_ITERS", 10, 0));
+  s.minibatch = static_cast<std::size_t>(
+      util::env_long("RLSCHED_BENCH_MINIBATCH", 512, 0));  // 0 = full batch
+  s.eval_seqs = static_cast<std::size_t>(
+      util::env_long("RLSCHED_BENCH_EVAL_SEQS", 5, 1));
+  s.eval_len = static_cast<std::size_t>(
+      util::env_long("RLSCHED_BENCH_EVAL_LEN", 512, 1));
+  s.seed = static_cast<std::uint64_t>(
+      util::env_long("RLSCHED_BENCH_SEED", 42, 0));
   s.model_dir = util::env_string("RLSCHED_MODEL_DIR", "rlsched_models");
   return s;
 }

@@ -6,15 +6,20 @@
 // on a single laptop core while preserving the qualitative shape of every
 // result. Environment variables restore paper scale:
 //
-//   RLSCHED_BENCH_EPOCHS     training epochs per model          (default 6)
-//   RLSCHED_BENCH_TRAJ       trajectories per epoch             (default 10)
+//   RLSCHED_BENCH_EPOCHS     training epochs per model          (default 15)
+//   RLSCHED_BENCH_TRAJ       trajectories per epoch             (default 12)
 //   RLSCHED_BENCH_PI_ITERS   policy/value update iters          (default 10)
-//   RLSCHED_BENCH_MINIBATCH  transitions per update iteration   (default 512)
+//   RLSCHED_BENCH_MINIBATCH  transitions per update iteration   (default 512;
+//                            0 means FULL BATCH — every collected
+//                            transition in one update step)
 //   RLSCHED_BENCH_EVAL_SEQS  evaluation sequences per cell      (default 5)
 //   RLSCHED_BENCH_EVAL_LEN   jobs per evaluation sequence       (default 512)
 //   RLSCHED_BENCH_SEED       master seed                        (default 42)
 //   RLSCHED_MODEL_DIR        trained-model cache directory
 //                            (default ./rlsched_models)
+//
+// Values are validated (util/env.hpp): a non-numeric value falls back to
+// the default with a warning on stderr, and out-of-range values clamp.
 //
 // Paper scale: EPOCHS=100 TRAJ=100 PI_ITERS=80 MINIBATCH=0 EVAL_SEQS=10
 // EVAL_LEN=1024.

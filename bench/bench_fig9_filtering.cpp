@@ -33,8 +33,11 @@ int main() {
   std::cout << table;
 
   const auto trace = workload::make_trace("PIK-IPLEX", 10000, scale.seed);
+  // Recompute with the trainer's own probe constants so the printed R is
+  // exactly the range the filtered run trained with.
   const auto range = rl::compute_filter_range(
-      trace, sim::Metric::BoundedSlowdown, 256, 50, scale.seed ^ 0x5eedULL);
+      trace, sim::Metric::BoundedSlowdown, 256, rl::kFilterProbeSamples,
+      scale.seed ^ rl::kFilterSeedSalt);
   std::cout << "\nfilter range R = (" << bench::cell(range.lo) << ", "
             << bench::cell(range.hi) << "]  (paper: R = (1, 1460))\n";
 

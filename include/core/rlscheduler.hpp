@@ -1,0 +1,66 @@
+#pragma once
+// Public façade: one object that owns a workload, trains the paper's PPO
+// policy on it, schedules unseen sequences, and persists models.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rl/composite.hpp"
+#include "rl/ppo.hpp"
+#include "sim/env.hpp"
+#include "trace/trace.hpp"
+
+namespace rlsched::core {
+
+struct RLSchedulerConfig {
+  sim::Metric metric = sim::Metric::BoundedSlowdown;
+  rl::PolicyKind policy = rl::PolicyKind::Kernel;
+  bool trajectory_filtering = false;
+  rl::CompositeReward composite;  ///< optional multi-objective reward
+
+  std::size_t seq_len = 256;
+  std::size_t trajectories_per_epoch = 10;
+  std::size_t pi_iters = 10;
+  std::size_t v_iters = 10;
+  std::size_t minibatch = 512;  ///< 0 = full batch
+  std::uint64_t seed = 42;
+};
+
+class RLScheduler {
+ public:
+  using EpochCallback = std::function<void(const rl::EpochStats&)>;
+
+  RLScheduler(const trace::Trace& trace, RLSchedulerConfig cfg);
+  ~RLScheduler();
+  RLScheduler(RLScheduler&&) noexcept;
+  RLScheduler& operator=(RLScheduler&&) noexcept;
+
+  /// Train for `epochs` epochs; `on_epoch` (when set) fires after each one.
+  rl::TrainHistory train(std::size_t epochs,
+                         const EpochCallback& on_epoch = {});
+
+  /// Greedy-schedule `seq` on the training cluster.
+  sim::RunResult schedule(const std::vector<trace::Job>& seq,
+                          bool backfill) const;
+
+  /// Greedy-schedule on a foreign cluster size (generalization protocol).
+  sim::RunResult schedule_on(const std::vector<trace::Job>& seq,
+                             int processors, bool backfill) const;
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+  rl::PPOTrainer& trainer() { return *trainer_; }
+  const rl::PPOTrainer& trainer() const { return *trainer_; }
+  const RLSchedulerConfig& config() const { return cfg_; }
+
+ private:
+  RLSchedulerConfig cfg_;
+  int processors_ = 0;
+  std::unique_ptr<rl::PPOTrainer> trainer_;
+};
+
+}  // namespace rlsched::core

@@ -1,0 +1,49 @@
+#pragma once
+// A flat dense stack (ReLU hidden layers, linear output) over caller-owned
+// parameters, with manual backprop. Parameters live in one contiguous float
+// vector so Adam, save/load, and gradient buffers are trivial memcpy-shaped
+// operations. Scratch activations are preallocated at construction — calls
+// never allocate.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/ops.hpp"
+#include "util/rng.hpp"
+
+namespace rlsched::nn {
+
+class FlatMlp {
+ public:
+  /// sizes = {input, hidden..., output}.
+  explicit FlatMlp(std::vector<std::size_t> sizes);
+
+  std::size_t param_count() const { return param_count_; }
+  std::size_t input_size() const { return sizes_.front(); }
+  std::size_t output_size() const { return sizes_.back(); }
+
+  /// He-normal init; the output layer is scaled by `out_scale` (a small
+  /// value keeps the initial policy near-uniform).
+  void init(float* params, util::Rng& rng, float out_scale = 1.0f) const;
+
+  /// Returns a pointer to the output activations (valid until next call).
+  const float* forward(const float* params, const float* x) const;
+
+  /// Backprop `dout` (length output_size) through the net, accumulating
+  /// into `gparams`. With `recompute` (the default) the forward pass is
+  /// refreshed internally; pass false when forward() was just called with
+  /// the same (params, x) — the hot training loops always pair the calls,
+  /// saving a full forward per sample. `dx` (length input_size) optional.
+  void backward(const float* params, const float* x, const float* dout,
+                float* gparams, float* dx = nullptr,
+                bool recompute = true) const;
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> w_off_, b_off_, act_off_;
+  std::size_t param_count_ = 0;
+  mutable std::vector<float> act_;   // activations of every layer
+  mutable std::vector<float> dact_;  // gradient scratch
+};
+
+}  // namespace rlsched::nn

@@ -1,0 +1,277 @@
+#pragma once
+// Cache-friendly neural-net primitives for the policy/value networks.
+// Everything operates on caller-owned flat float buffers — no tensors, no
+// allocation, no dispatch. Batched variants keep the job axis J contiguous
+// (struct-of-arrays), so the inner loops vectorize across pending jobs.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rlsched::nn {
+
+// ---------------------------------------------------------------------------
+// Dense layers over an SoA batch: A is (in x J), C is (out x J),
+// W is (out x in) row-major, b is (out).
+// ---------------------------------------------------------------------------
+
+inline void dense_batch_forward(const float* __restrict W,
+                                const float* __restrict b,
+                                const float* __restrict A,
+                                float* __restrict C, std::size_t out,
+                                std::size_t in, std::size_t J, bool relu) {
+  for (std::size_t o = 0; o < out; ++o) {
+    float* __restrict row = C + o * J;
+    const float bias = b[o];
+    for (std::size_t j = 0; j < J; ++j) row[j] = bias;
+    const float* __restrict w = W + o * in;
+    for (std::size_t i = 0; i < in; ++i) {
+      const float wv = w[i];
+      const float* __restrict a = A + i * J;
+      for (std::size_t j = 0; j < J; ++j) row[j] += wv * a[j];
+    }
+    if (relu) {
+      for (std::size_t j = 0; j < J; ++j) row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+    }
+  }
+}
+
+/// Backward of dense_batch_forward. `C` is the post-activation output and
+/// `dC` its incoming gradient (modified in place when relu). Accumulates
+/// into gW/gb; writes dA when non-null.
+inline void dense_batch_backward(const float* __restrict W,
+                                 const float* __restrict A,
+                                 const float* __restrict C,
+                                 float* __restrict dC, float* __restrict dA,
+                                 float* __restrict gW, float* __restrict gb,
+                                 std::size_t out, std::size_t in,
+                                 std::size_t J, bool relu) {
+  if (relu) {
+    for (std::size_t o = 0; o < out; ++o) {
+      float* d = dC + o * J;
+      const float* c = C + o * J;
+      for (std::size_t j = 0; j < J; ++j) {
+        if (c[j] <= 0.0f) d[j] = 0.0f;
+      }
+    }
+  }
+  for (std::size_t o = 0; o < out; ++o) {
+    const float* d = dC + o * J;
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < J; ++j) acc += d[j];
+    gb[o] += acc;
+    float* gw = gW + o * in;
+    for (std::size_t i = 0; i < in; ++i) {
+      const float* a = A + i * J;
+      float s = 0.0f;
+      for (std::size_t j = 0; j < J; ++j) s += d[j] * a[j];
+      gw[i] += s;
+    }
+  }
+  if (dA != nullptr) {
+    for (std::size_t i = 0; i < in; ++i) {
+      float* da = dA + i * J;
+      for (std::size_t j = 0; j < J; ++j) da[j] = 0.0f;
+    }
+    for (std::size_t o = 0; o < out; ++o) {
+      const float* d = dC + o * J;
+      const float* w = W + o * in;
+      for (std::size_t i = 0; i < in; ++i) {
+        float* da = dA + i * J;
+        const float wv = w[i];
+        for (std::size_t j = 0; j < J; ++j) da[j] += wv * d[j];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1-D convolution along the job axis (LeNet baseline): A is (ci x L),
+// C is (co x L), W is (co x ci x k) with odd k and same-padding.
+// ---------------------------------------------------------------------------
+
+inline void conv1d_forward(const float* W, const float* b, const float* A,
+                           float* C, std::size_t co, std::size_t ci,
+                           std::size_t L, std::size_t k, bool relu) {
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(k / 2);
+  for (std::size_t o = 0; o < co; ++o) {
+    float* row = C + o * L;
+    for (std::size_t x = 0; x < L; ++x) row[x] = b[o];
+    for (std::size_t i = 0; i < ci; ++i) {
+      const float* a = A + i * L;
+      const float* w = W + (o * ci + i) * k;
+      for (std::size_t t = 0; t < k; ++t) {
+        const float wv = w[t];
+        const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(t) - half;
+        const std::size_t lo = off < 0 ? static_cast<std::size_t>(-off) : 0;
+        const std::size_t hi =
+            off > 0 ? L - static_cast<std::size_t>(off) : L;
+        for (std::size_t x = lo; x < hi; ++x) {
+          row[x] += wv * a[static_cast<std::size_t>(
+                        static_cast<std::ptrdiff_t>(x) + off)];
+        }
+      }
+    }
+    if (relu) {
+      for (std::size_t x = 0; x < L; ++x) row[x] = row[x] > 0.0f ? row[x] : 0.0f;
+    }
+  }
+}
+
+inline void conv1d_backward(const float* W, const float* A, const float* C,
+                            float* dC, float* dA, float* gW, float* gb,
+                            std::size_t co, std::size_t ci, std::size_t L,
+                            std::size_t k, bool relu) {
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(k / 2);
+  if (relu) {
+    for (std::size_t o = 0; o < co; ++o) {
+      float* d = dC + o * L;
+      const float* c = C + o * L;
+      for (std::size_t x = 0; x < L; ++x) {
+        if (c[x] <= 0.0f) d[x] = 0.0f;
+      }
+    }
+  }
+  if (dA != nullptr) {
+    for (std::size_t i = 0; i < ci * L; ++i) dA[i] = 0.0f;
+  }
+  for (std::size_t o = 0; o < co; ++o) {
+    const float* d = dC + o * L;
+    for (std::size_t x = 0; x < L; ++x) gb[o] += d[x];
+    for (std::size_t i = 0; i < ci; ++i) {
+      const float* a = A + i * L;
+      float* gw = gW + (o * ci + i) * k;
+      const float* w = W + (o * ci + i) * k;
+      float* da = dA != nullptr ? dA + i * L : nullptr;
+      for (std::size_t t = 0; t < k; ++t) {
+        const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(t) - half;
+        const std::size_t lo = off < 0 ? static_cast<std::size_t>(-off) : 0;
+        const std::size_t hi =
+            off > 0 ? L - static_cast<std::size_t>(off) : L;
+        float acc = 0.0f;
+        for (std::size_t x = lo; x < hi; ++x) {
+          const std::size_t src = static_cast<std::size_t>(
+              static_cast<std::ptrdiff_t>(x) + off);
+          acc += d[x] * a[src];
+          if (da != nullptr) da[src] += d[x] * w[t];
+        }
+        gw[t] += acc;
+      }
+    }
+  }
+}
+
+/// Halving average pool along the length axis: (c x L) -> (c x L/2).
+inline void avgpool2_forward(const float* A, float* C, std::size_t c,
+                             std::size_t L) {
+  const std::size_t half = L / 2;
+  for (std::size_t i = 0; i < c; ++i) {
+    const float* a = A + i * L;
+    float* o = C + i * half;
+    for (std::size_t x = 0; x < half; ++x) {
+      o[x] = 0.5f * (a[2 * x] + a[2 * x + 1]);
+    }
+  }
+}
+
+inline void avgpool2_backward(const float* dC, float* dA, std::size_t c,
+                              std::size_t L) {
+  const std::size_t half = L / 2;
+  for (std::size_t i = 0; i < c; ++i) {
+    const float* d = dC + i * half;
+    float* da = dA + i * L;
+    for (std::size_t x = 0; x < L; ++x) da[x] = 0.0f;
+    for (std::size_t x = 0; x < half; ++x) {
+      da[2 * x] = 0.5f * d[x];
+      da[2 * x + 1] = 0.5f * d[x];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Masked categorical head
+// ---------------------------------------------------------------------------
+
+/// Index of the largest value whose mask byte is non-zero; ties break to the
+/// LOWEST index (deterministic), and an all-masked input returns 0.
+inline std::size_t argmax_masked(const float* v, const std::uint8_t* mask,
+                                 std::size_t n) {
+  std::size_t best = 0;
+  bool found = false;
+  float best_v = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] == 0) continue;
+    if (!found || v[i] > best_v) {
+      best = i;
+      best_v = v[i];
+      found = true;
+    }
+  }
+  return best;
+}
+
+template <std::size_t N>
+std::size_t argmax_masked(const std::array<float, N>& v,
+                          const std::array<std::uint8_t, N>& mask) {
+  return argmax_masked(v.data(), mask.data(), N);
+}
+
+/// Numerically-stable softmax over the masked entries; masked-out
+/// probabilities are exactly 0. All-masked input yields all zeros.
+inline void softmax_masked(const float* logits, const std::uint8_t* mask,
+                           float* probs, std::size_t n) {
+  float peak = -1e30f;
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0 && (!any || logits[i] > peak)) {
+      peak = logits[i];
+      any = true;
+    }
+  }
+  if (!any) {
+    for (std::size_t i = 0; i < n; ++i) probs[i] = 0.0f;
+    return;
+  }
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    probs[i] = mask[i] != 0 ? std::exp(logits[i] - peak) : 0.0f;
+    sum += probs[i];
+  }
+  const float inv = 1.0f / sum;
+  for (std::size_t i = 0; i < n; ++i) probs[i] *= inv;
+}
+
+// ---------------------------------------------------------------------------
+// Adam optimizer over a flat parameter vector
+// ---------------------------------------------------------------------------
+
+class Adam {
+ public:
+  Adam(std::size_t n, float lr)
+      : lr_(lr), m_(n, 0.0f), v_(n, 0.0f) {}
+
+  void set_lr(float lr) { lr_ = lr; }
+
+  void step(float* params, const float* grad) {
+    ++t_;
+    const float b1t = 1.0f - std::pow(0.9f, static_cast<float>(t_));
+    const float b2t = 1.0f - std::pow(0.999f, static_cast<float>(t_));
+    const std::size_t n = m_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      m_[i] = 0.9f * m_[i] + 0.1f * grad[i];
+      v_[i] = 0.999f * v_[i] + 0.001f * grad[i] * grad[i];
+      const float mh = m_[i] / b1t;
+      const float vh = v_[i] / b2t;
+      params[i] -= lr_ * mh / (std::sqrt(vh) + 1e-8f);
+    }
+  }
+
+ private:
+  float lr_;
+  std::uint64_t t_ = 0;
+  std::vector<float> m_, v_;
+};
+
+}  // namespace rlsched::nn

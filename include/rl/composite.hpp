@@ -1,0 +1,49 @@
+#pragma once
+// Weighted multi-objective rewards (paper SS V-F): the trainer maximizes
+// sum_i w_i * reward_sign(m_i) * value(m_i). Swapping the optimization goal
+// is a config change, never a scheduler-code change.
+
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/env.hpp"
+
+namespace rlsched::rl {
+
+class CompositeReward {
+ public:
+  CompositeReward() = default;
+  CompositeReward(
+      std::initializer_list<std::pair<sim::Metric, double>> terms)
+      : terms_(terms) {}
+
+  bool empty() const { return terms_.empty(); }
+
+  double reward(const sim::RunResult& r) const {
+    double sum = 0.0;
+    for (const auto& [metric, weight] : terms_) {
+      sum += weight * sim::reward_sign(metric) * r.value(metric);
+    }
+    return sum;
+  }
+
+  std::string describe() const {
+    std::ostringstream out;
+    bool first = true;
+    for (const auto& [metric, weight] : terms_) {
+      if (!first) out << " + ";
+      out << weight << "*" << (sim::reward_sign(metric) > 0 ? "" : "-")
+          << sim::metric_name(metric);
+      first = false;
+    }
+    return first ? "(empty)" : out.str();
+  }
+
+ private:
+  std::vector<std::pair<sim::Metric, double>> terms_;
+};
+
+}  // namespace rlsched::rl

@@ -1,0 +1,44 @@
+#pragma once
+// Fixed-size observation tensor for the policy networks. The builder writes
+// into a flat float array in struct-of-arrays layout (feature-major, job
+// axis contiguous) so the kernel network's batched GEMV loops stream it.
+// Everything is std::array — building and copying an Observation performs
+// no heap allocation.
+
+#include <array>
+#include <cstdint>
+
+#include "sim/env.hpp"
+
+namespace rlsched::rl {
+
+/// Window size seen by every policy (paper MAX_OBSV_SIZE). Mirrors the
+/// simulator's cutoff: decision cost is flat in the backlog length.
+inline constexpr std::size_t kMaxObservable = sim::kMaxObservable;
+
+/// Per-job features, all normalized to O(1) ranges:
+///   0: log1p(wait time) / 12
+///   1: log1p(requested runtime) / 12
+///   2: log1p(requested procs) / log1p(cluster procs)
+///   3: job fits in the currently free processors (0/1)
+///   4: free processor fraction of the cluster
+///   5: valid-slot bias (1 for real jobs, 0 for padding)
+inline constexpr std::size_t kJobFeatures = 6;
+
+struct Observation {
+  /// SoA: features[f * kMaxObservable + j] is feature f of window slot j.
+  std::array<float, kJobFeatures * kMaxObservable> features;
+  std::array<std::uint8_t, kMaxObservable> mask;  ///< 1 = real job
+  std::uint32_t count = 0;                        ///< valid slots
+};
+
+using Logits = std::array<float, kMaxObservable>;
+
+class ObservationBuilder {
+ public:
+  /// Snapshot the env's observable window. Returns by value (arrays only —
+  /// no heap traffic); padding slots are zeroed and masked out.
+  Observation build(const sim::SchedulingEnv& env) const;
+};
+
+}  // namespace rlsched::rl

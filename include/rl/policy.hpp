@@ -1,0 +1,51 @@
+#pragma once
+// Policy networks: the paper's kernel-based network (a small MLP applied
+// with shared weights to every observable job — per-job scoring, order
+// equivariant) plus the Table IV baselines: flat MLPs v1-v3 and a
+// LeNet-style convolutional head. All parameters live in one flat float
+// vector; logits() and backward() never allocate after construction.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rl/observation.hpp"
+#include "util/rng.hpp"
+
+namespace rlsched::rl {
+
+enum class PolicyKind { Kernel, MlpV1, MlpV2, MlpV3, LeNet };
+
+std::string policy_kind_name(PolicyKind k);
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// One logit per observable slot. Masking happens in the caller.
+  virtual Logits logits(const Observation& obs) const = 0;
+
+  /// Accumulate d(loss)/d(params) for d(loss)/d(logits) into `gparams`
+  /// (length parameter_count()). Reuses the activations of the most recent
+  /// logits() call — callers must pair backward() with a logits() on the
+  /// same observation (the PPO update loop does).
+  virtual void backward(const Observation& obs, const Logits& dlogits,
+                        float* gparams) const = 0;
+
+  virtual PolicyKind kind() const = 0;
+
+  std::size_t parameter_count() const { return params_.size(); }
+  std::vector<float>& param_vector() { return params_; }
+  const std::vector<float>& param_vector() const { return params_; }
+
+ protected:
+  std::vector<float> params_;
+};
+
+/// Build a policy for a `max_observable`-slot window (must not exceed
+/// kMaxObservable; the bundled benches pass rl::kMaxObservable).
+std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                    std::size_t max_observable,
+                                    util::Rng& rng);
+
+}  // namespace rlsched::rl

@@ -1,0 +1,116 @@
+#pragma once
+// Proximal Policy Optimization over the scheduling environment: GAE
+// advantages, clipped surrogate objective, minibatched Adam updates, and a
+// separate value network. Trajectory and gradient buffers are allocated
+// once at construction and reused across epochs — the steady-state training
+// loop performs no heap allocation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/ops.hpp"
+#include "rl/composite.hpp"
+#include "rl/filter.hpp"
+#include "rl/observation.hpp"
+#include "rl/policy.hpp"
+#include "sim/env.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rlsched::rl {
+
+struct PPOConfig {
+  sim::Metric metric = sim::Metric::BoundedSlowdown;
+  PolicyKind policy = PolicyKind::Kernel;
+  bool trajectory_filtering = false;
+  CompositeReward composite;  ///< overrides `metric` as reward when set
+
+  std::size_t seq_len = 256;  ///< jobs per trajectory (paper SS V-A)
+  std::size_t trajectories_per_epoch = 10;
+  std::size_t pi_iters = 10;
+  std::size_t v_iters = 10;
+  /// Transitions per update; 0 means FULL BATCH (all collected transitions
+  /// in a single Adam step per iteration).
+  std::size_t minibatch = 512;
+  std::uint64_t seed = 42;
+  bool backfill = false;  ///< backfilling during training rollouts
+
+  float pi_lr = 3e-4f;
+  float v_lr = 1e-3f;
+  float clip = 0.2f;
+  float gamma = 1.0f;   ///< finite episodes with terminal reward
+  float lam = 0.97f;    ///< GAE lambda
+  float target_kl = 0.05f;  ///< early-stop threshold per policy iteration
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double avg_metric = 0.0;  ///< cfg.metric averaged over the epoch's rollouts
+  double seconds = 0.0;
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+};
+
+class PPOTrainer {
+ public:
+  PPOTrainer(const trace::Trace& trace, PPOConfig cfg);
+
+  /// Collect trajectories_per_epoch rollouts and run the PPO update.
+  EpochStats train_epoch();
+
+  /// Greedy (argmax) rollout of the current policy on an arbitrary
+  /// sequence/cluster.
+  sim::RunResult evaluate(const std::vector<trace::Job>& seq, int processors,
+                          bool backfill) const;
+
+  const Policy& policy() const { return *policy_; }
+  Policy& policy() { return *policy_; }
+  const PPOConfig& config() const { return cfg_; }
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  void collect_trajectories();
+  void reset_perm();
+  void compute_advantages();
+  void update_policy();
+  void update_value();
+  double reward_of(const sim::RunResult& r) const;
+
+  trace::Trace trace_;
+  PPOConfig cfg_;
+  util::Rng rng_;
+  sim::SchedulingEnv env_;
+  ObservationBuilder builder_;
+
+  std::unique_ptr<Policy> policy_;
+  nn::FlatMlp value_net_;
+  std::vector<float> value_params_;
+  nn::Adam pi_opt_, v_opt_;
+
+  // trajectory buffers, capacity trajectories_per_epoch * seq_len
+  std::vector<Observation> obs_buf_;
+  std::vector<std::uint32_t> act_buf_;
+  std::vector<float> logp_buf_, val_buf_, adv_buf_, ret_buf_;
+  std::vector<std::size_t> traj_end_;  ///< exclusive end index per rollout
+  std::vector<float> traj_reward_;     ///< terminal reward per rollout
+  std::size_t steps_ = 0;
+
+  // update scratch
+  std::vector<float> pi_grad_, v_grad_, probs_;
+  std::vector<std::uint32_t> perm_;
+
+  FilterRange filter_range_;
+  bool filter_ready_ = false;
+  std::size_t epoch_ = 0;
+  double epoch_metric_sum_ = 0.0;
+};
+
+}  // namespace rlsched::rl

@@ -1,0 +1,38 @@
+#pragma once
+// The paper's Table III heuristic baselines as branch-light priority
+// functions. Scores are "lower runs first"; max-style heuristics from the
+// literature are negated.
+
+#include <string>
+#include <vector>
+
+#include "sim/env.hpp"
+
+namespace rlsched::sched {
+
+struct Heuristic {
+  std::string name;
+  sim::PriorityFn priority;
+};
+
+/// First-Come-First-Served: earliest submission first.
+sim::PriorityFn fcfs_priority();
+
+/// Shortest-Job-First on the user's runtime estimate.
+sim::PriorityFn sjf_priority();
+
+/// WFP3: favours long-waiting, short, wide jobs —
+/// maximize (wait/request_time)^3 * request_procs.
+sim::PriorityFn wfp3_priority();
+
+/// UNICEP: maximize wait / (log2(procs) * request_time).
+sim::PriorityFn unicep_priority();
+
+/// F1: the Carastan-Santos & de Camargo learned nonlinear score —
+/// minimize log10(request_time)*procs + 870*log10(submit_time).
+sim::PriorityFn f1_priority();
+
+/// The five baselines in the paper's order: FCFS, WFP3, UNICEP, SJF, F1.
+const std::vector<Heuristic>& all_heuristics();
+
+}  // namespace rlsched::sched

@@ -1,0 +1,149 @@
+#pragma once
+// Event-driven scheduling simulator — the hot core of the system.
+//
+// Design for throughput (paper Table IX is the gate):
+//  * a binary min-heap of job completions in a capacity-reserved vector:
+//    O(log n) per event, no node allocations;
+//  * a free-processor counter instead of a bitmap — starting/finishing a job
+//    is O(1) bookkeeping plus the heap op;
+//  * the pending queue is an arrival-ordered index vector; the observable
+//    window handed to policies is a zero-copy span over its prefix;
+//  * all metric accounting (bounded slowdown, utilization, wait, fairness)
+//    is incremental at job start — results are O(users) to read, not O(n);
+//  * after reset() every container stays within reserved capacity: the
+//    step()/run_priority() loop performs ZERO heap allocation (enforced by
+//    tests/test_zero_alloc.cpp with a counting global operator new).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace rlsched::sim {
+
+/// Policies never see more than this many pending jobs (paper MAX_OBSV_SIZE):
+/// decision cost stays flat as the backlog grows.
+inline constexpr std::size_t kMaxObservable = 128;
+
+enum class Metric {
+  BoundedSlowdown,
+  Slowdown,
+  WaitTime,
+  Turnaround,
+  Utilization,
+  FairBoundedSlowdown,  ///< max over users of their avg bounded slowdown
+};
+
+std::string metric_name(Metric m);
+
+/// +1 when larger is better (Utilization), -1 otherwise. Rewards are
+/// reward_sign(m) * value(m).
+int reward_sign(Metric m);
+
+/// Priority score for heuristic scheduling: LOWER runs first.
+using PriorityFn = std::function<double(const trace::Job&, double now)>;
+
+struct RunResult {
+  std::size_t jobs = 0;
+  double avg_bounded_slowdown = 0.0;
+  double avg_slowdown = 0.0;
+  double avg_wait = 0.0;
+  double avg_turnaround = 0.0;
+  double utilization = 0.0;
+  double makespan = 0.0;
+  double max_user_bounded_slowdown = 0.0;
+
+  double value(Metric m) const;
+};
+
+/// Per-user average bounded slowdown of an already-scheduled job set,
+/// sorted by user id. (Analysis helper; not on the hot path.)
+std::vector<std::pair<int, double>> per_user_bounded_slowdown(
+    const std::vector<trace::Job>& jobs);
+
+struct EnvConfig {
+  bool backfill = false;  ///< EASY backfilling around the selected head job
+  std::size_t max_observable = kMaxObservable;
+};
+
+class SchedulingEnv {
+ public:
+  explicit SchedulingEnv(int processors, EnvConfig cfg = {});
+
+  /// Load a job sequence and advance to the first arrival. Allocation
+  /// happens here (and only here): every container reserves for the whole
+  /// episode.
+  void reset(const std::vector<trace::Job>& jobs);
+  void reset(std::vector<trace::Job>&& jobs);
+
+  /// One scheduling decision: start the `action`-th job of the observable
+  /// window (waiting for processors if needed, EASY-backfilling others
+  /// meanwhile when enabled), then advance until another decision is due.
+  /// Returns true when every job has been started.
+  bool step(std::size_t action);
+
+  /// Run the whole episode under a priority heuristic (min-score first).
+  RunResult run_priority(const PriorityFn& priority);
+
+  /// Pending jobs visible to a policy: indices into jobs(), arrival order,
+  /// at most max_observable of them.
+  std::span<const std::uint32_t> observable() const;
+
+  const std::vector<trace::Job>& jobs() const { return jobs_; }
+  double now() const { return now_; }
+  int processors() const { return processors_; }
+  int free_processors() const { return free_; }
+  bool done() const { return started_ == jobs_.size(); }
+
+  /// Metrics of the (possibly partial) schedule so far.
+  RunResult result() const;
+
+ private:
+  struct Completion {
+    double end;
+    std::int32_t procs;
+  };
+  struct CompletionLater {
+    bool operator()(const Completion& a, const Completion& b) const {
+      return a.end > b.end;
+    }
+  };
+
+  void prepare();                 ///< sort, clamp, reserve, advance to t0
+  void arrive_until_now();
+  void advance_one_event();       ///< jump to next completion/arrival
+  void ensure_pending();          ///< advance until a decision is possible
+  void start_job(std::uint32_t idx);
+  void start_with_wait(std::uint32_t idx);
+  void try_backfill(const trace::Job& head);
+  /// Earliest time enough processors free up for `needed`, plus the count
+  /// of processors still spare at that time after the head starts.
+  double reservation(int needed, int* spare);
+
+  int processors_;
+  EnvConfig cfg_;
+
+  std::vector<trace::Job> jobs_;
+  std::vector<std::uint32_t> pending_;     ///< arrival order
+  std::vector<Completion> running_;        ///< binary min-heap by end time
+  std::vector<Completion> shadow_;         ///< scratch for reservation()
+  std::vector<int> user_ids_;              ///< sorted distinct users
+  std::vector<double> user_bsld_sum_;
+  std::vector<std::uint32_t> user_count_;
+
+  double now_ = 0.0;
+  int free_ = 0;
+  std::size_t next_arrival_ = 0;
+  std::size_t started_ = 0;
+
+  // incremental metric accumulators
+  double sum_bsld_ = 0.0, sum_sld_ = 0.0, sum_wait_ = 0.0, sum_turn_ = 0.0;
+  double busy_area_ = 0.0;
+  double min_submit_ = 0.0, max_end_ = 0.0;
+};
+
+}  // namespace rlsched::sim

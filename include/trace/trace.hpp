@@ -1,0 +1,76 @@
+#pragma once
+// Job traces: the in-memory job record, trace containers, and Standard
+// Workload Format (SWF) import/export — the format of the Parallel
+// Workloads Archive traces the paper evaluates on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rlsched::trace {
+
+struct Job {
+  std::int64_t id = 0;
+  double submit_time = 0.0;     ///< seconds since trace start
+  double run_time = 0.0;        ///< actual runtime (seconds)
+  double requested_time = 0.0;  ///< user runtime estimate (>= run_time)
+  int requested_procs = 1;
+  int user = 0;
+
+  // --- schedule state, written by the simulator ---
+  double start_time = -1.0;  ///< < 0 while unscheduled
+
+  void reset_schedule_state() { start_time = -1.0; }
+  bool scheduled() const { return start_time >= 0.0; }
+  double wait_time() const { return start_time - submit_time; }
+  double end_time() const { return start_time + run_time; }
+};
+
+/// Table II column set, computed from the loaded jobs.
+struct Characteristics {
+  std::string name;
+  int processors = 0;
+  std::size_t jobs = 0;
+  double mean_interarrival = 0.0;
+  double mean_requested_time = 0.0;
+  double mean_requested_procs = 0.0;
+  std::size_t distinct_users = 0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, int processors, std::vector<Job> jobs);
+
+  /// Parse an SWF file. Cluster size comes from the "; MaxProcs:" header
+  /// (falling back to the largest per-job request). Throws std::runtime_error
+  /// on unreadable files.
+  static Trace load_swf(const std::string& path, const std::string& name = "");
+
+  /// Write the trace as SWF (18-column rows plus a MaxProcs header).
+  void save_swf(const std::string& path) const;
+
+  const std::string& name() const { return name_; }
+  int processors() const { return processors_; }
+  std::size_t size() const { return jobs_.size(); }
+  const Job& operator[](std::size_t i) const { return jobs_[i]; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// Contiguous slice [start, start+len), rebased so the first job submits
+  /// at t=0 and with schedule state cleared. Out-of-range is clamped.
+  std::vector<Job> sequence(std::size_t start, std::size_t len) const;
+
+  /// Random contiguous `len`-job slice (the paper's evaluation protocol).
+  std::vector<Job> sample_sequence(util::Rng& rng, std::size_t len) const;
+
+  Characteristics characteristics() const;
+
+ private:
+  std::string name_;
+  int processors_ = 0;
+  std::vector<Job> jobs_;  ///< sorted by submit_time
+};
+
+}  // namespace rlsched::trace

@@ -1,0 +1,28 @@
+#pragma once
+// Validated environment-variable parsing. Every knob in bench_common.hpp
+// flows through here; a typo like RLSCHED_BENCH_EPOCHS=1O must fall back to
+// the default (with a warning on stderr), never feed garbage into a
+// std::size_t cast.
+
+#include <limits>
+#include <string>
+
+namespace rlsched::util {
+
+/// Parse `name` as a long. Returns `fallback` when the variable is unset,
+/// empty, not fully numeric, or out of `long` range; clamps the parsed value
+/// into [min_value, max_value]. A rejected or clamped value is reported once
+/// on stderr so silent misconfiguration cannot skew benchmark results.
+long env_long(const char* name, long fallback,
+              long min_value = std::numeric_limits<long>::min(),
+              long max_value = std::numeric_limits<long>::max());
+
+/// Parse `name` as a double with the same validation/clamping contract.
+double env_double(const char* name, double fallback,
+                  double min_value = -std::numeric_limits<double>::infinity(),
+                  double max_value = std::numeric_limits<double>::infinity());
+
+/// String variable; `fallback` when unset or empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace rlsched::util

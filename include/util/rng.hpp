@@ -1,0 +1,60 @@
+#pragma once
+// Small deterministic PRNG (splitmix64). One 64-bit word of state, no heap,
+// identical streams across platforms — model training must be reproducible
+// from RLSCHED_BENCH_SEED alone.
+
+#include <cmath>
+#include <cstdint>
+
+namespace rlsched::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {
+    // Burn one output so nearby seeds decorrelate immediately.
+    next_u64();
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n == 0 returns 0.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    // Modulo bias is < 2^-50 for every n used here (n << 2^64).
+    return next_u64() % n;
+  }
+
+  /// Standard normal via Box-Muller (no cached spare: stateless per call).
+  double normal() {
+    const double u1 = 1.0 - uniform();  // (0, 1]
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    return -mean * std::log(1.0 - uniform());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rlsched::util

@@ -1,0 +1,57 @@
+#pragma once
+// Descriptive statistics for the figure/table benches: one-shot summaries,
+// Welford running moments, and a fixed-bin ASCII histogram.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rlsched::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double skewness = 0.0;
+};
+
+/// Sorts a copy of `values`; empty input returns a zeroed Summary.
+Summary summarize(const std::vector<double>& values);
+
+/// Welford's online mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance; 0 for n < 2
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Linear histogram over [lo, hi); out-of-range samples are clamped into
+/// the edge bins and counted separately for the caption.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double v);
+  /// Render rows of "[lo, hi) count |####"; `width` is the bar length of
+  /// the fullest bin.
+  std::string ascii(std::size_t width) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace rlsched::util

@@ -1,0 +1,32 @@
+#pragma once
+// Minimal aligned-column table printer for the paper-reproduction benches.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlsched::util {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Format `v` with `digits` significant digits (general notation).
+  static std::string fmt(double v, int digits);
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace rlsched::util

@@ -1,0 +1,22 @@
+#pragma once
+// Synthetic workload generators calibrated to the paper's Table II trace
+// characteristics (SDSC-SP2, HPC2N, PIK-IPLEX, ANL-Intrepid, Lublin-1,
+// Lublin-2). See DESIGN.md for the calibration recipe.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace rlsched::workload {
+
+/// Names accepted by make_trace, in Table II order.
+const std::vector<std::string>& trace_names();
+
+/// Synthesize `jobs` jobs shaped like the named trace. Deterministic in
+/// (name, jobs, seed). Throws std::invalid_argument for unknown names.
+trace::Trace make_trace(const std::string& name, std::size_t jobs,
+                        std::uint64_t seed);
+
+}  // namespace rlsched::workload

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verify (configure + build + ctest) plus the Table IX cost
+# benchmark as a compile-and-run smoke test of the perf-critical path.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== Table IX cost smoke (decision latency must stay flat) =="
+if [ -x "$BUILD_DIR/bench/bench_table9_cost" ]; then
+  # Keep the smoke cheap: short measurement time, skip the training-epoch
+  # benchmark (it alone dominates wall clock and is exercised by ctest's
+  # PPO smoke test anyway).
+  "$BUILD_DIR/bench/bench_table9_cost" \
+    --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_SjfSortAndPick|BM_RlDecision|BM_PolicyParameterCount'
+else
+  echo "bench_table9_cost not built (google-benchmark missing) - skipped"
+fi
+
+echo "== all checks passed =="

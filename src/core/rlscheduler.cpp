@@ -1,0 +1,56 @@
+#include "core/rlscheduler.hpp"
+
+namespace rlsched::core {
+
+namespace {
+rl::PPOConfig to_ppo_config(const RLSchedulerConfig& cfg) {
+  rl::PPOConfig p;
+  p.metric = cfg.metric;
+  p.policy = cfg.policy;
+  p.trajectory_filtering = cfg.trajectory_filtering;
+  p.composite = cfg.composite;
+  p.seq_len = cfg.seq_len;
+  p.trajectories_per_epoch = cfg.trajectories_per_epoch;
+  p.pi_iters = cfg.pi_iters;
+  p.v_iters = cfg.v_iters;
+  p.minibatch = cfg.minibatch;
+  p.seed = cfg.seed;
+  return p;
+}
+}  // namespace
+
+RLScheduler::RLScheduler(const trace::Trace& trace, RLSchedulerConfig cfg)
+    : cfg_(std::move(cfg)),
+      processors_(trace.processors()),
+      trainer_(std::make_unique<rl::PPOTrainer>(trace, to_ppo_config(cfg_))) {}
+
+RLScheduler::~RLScheduler() = default;
+RLScheduler::RLScheduler(RLScheduler&&) noexcept = default;
+RLScheduler& RLScheduler::operator=(RLScheduler&&) noexcept = default;
+
+rl::TrainHistory RLScheduler::train(std::size_t epochs,
+                                    const EpochCallback& on_epoch) {
+  rl::TrainHistory history;
+  history.epochs.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    history.epochs.push_back(trainer_->train_epoch());
+    if (on_epoch) on_epoch(history.epochs.back());
+  }
+  return history;
+}
+
+sim::RunResult RLScheduler::schedule(const std::vector<trace::Job>& seq,
+                                     bool backfill) const {
+  return trainer_->evaluate(seq, processors_, backfill);
+}
+
+sim::RunResult RLScheduler::schedule_on(const std::vector<trace::Job>& seq,
+                                        int processors, bool backfill) const {
+  return trainer_->evaluate(seq, processors, backfill);
+}
+
+void RLScheduler::save(const std::string& path) const { trainer_->save(path); }
+
+void RLScheduler::load(const std::string& path) { trainer_->load(path); }
+
+}  // namespace rlsched::core

@@ -1,0 +1,30 @@
+#include "rl/filter.hpp"
+
+#include "sched/heuristics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rlsched::rl {
+
+double sjf_metric(const std::vector<trace::Job>& seq, int processors,
+                  sim::Metric metric) {
+  sim::SchedulingEnv env(processors);
+  env.reset(seq);
+  return env.run_priority(sched::sjf_priority()).value(metric);
+}
+
+FilterRange compute_filter_range(const trace::Trace& trace, sim::Metric metric,
+                                 std::size_t seq_len, std::size_t samples,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto seq = trace.sample_sequence(rng, seq_len);
+    values.push_back(sjf_metric(seq, trace.processors(), metric));
+  }
+  const auto s = util::summarize(values);
+  return {s.median, 2.0 * s.mean};
+}
+
+}  // namespace rlsched::rl

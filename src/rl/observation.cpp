@@ -1,0 +1,43 @@
+#include "rl/observation.hpp"
+
+#include <cmath>
+
+namespace rlsched::rl {
+
+Observation ObservationBuilder::build(const sim::SchedulingEnv& env) const {
+  Observation obs;
+  obs.features.fill(0.0f);
+  obs.mask.fill(0);
+
+  const auto window = env.observable();
+  const auto& jobs = env.jobs();
+  const double now = env.now();
+  const float free_frac =
+      static_cast<float>(env.free_processors()) /
+      static_cast<float>(env.processors());
+  const float procs_norm =
+      1.0f / std::log1p(static_cast<float>(env.processors()));
+
+  obs.count = static_cast<std::uint32_t>(window.size());
+  float* f0 = obs.features.data();  // wait
+  float* f1 = f0 + kMaxObservable;  // requested time
+  float* f2 = f1 + kMaxObservable;  // requested procs
+  float* f3 = f2 + kMaxObservable;  // fits now
+  float* f4 = f3 + kMaxObservable;  // free fraction
+  float* f5 = f4 + kMaxObservable;  // valid bias
+  for (std::size_t j = 0; j < window.size(); ++j) {
+    const trace::Job& job = jobs[window[j]];
+    const float wait = static_cast<float>(now - job.submit_time);
+    f0[j] = std::log1p(wait > 0.0f ? wait : 0.0f) * (1.0f / 12.0f);
+    f1[j] = std::log1p(static_cast<float>(job.requested_time)) *
+            (1.0f / 12.0f);
+    f2[j] = std::log1p(static_cast<float>(job.requested_procs)) * procs_norm;
+    f3[j] = job.requested_procs <= env.free_processors() ? 1.0f : 0.0f;
+    f4[j] = free_frac;
+    f5[j] = 1.0f;
+    obs.mask[j] = 1;
+  }
+  return obs;
+}
+
+}  // namespace rlsched::rl

@@ -1,0 +1,254 @@
+#include "rl/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/mlp.hpp"
+#include "nn/ops.hpp"
+
+namespace rlsched::rl {
+
+std::string policy_kind_name(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::Kernel: return "kernel";
+    case PolicyKind::MlpV1: return "mlp_v1";
+    case PolicyKind::MlpV2: return "mlp_v2";
+    case PolicyKind::MlpV3: return "mlp_v3";
+    case PolicyKind::LeNet: return "lenet";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel network: shared per-job MLP {features, 32, 16, 8, 1} evaluated as
+// batched dense layers over the SoA job axis — one GEMM-shaped pass scores
+// all 128 window slots at once.
+// ---------------------------------------------------------------------------
+class KernelPolicy final : public Policy {
+ public:
+  explicit KernelPolicy(util::Rng& rng) {
+    std::size_t off = 0;
+    for (std::size_t l = 0; l + 1 < kLayers.size(); ++l) {
+      w_off_[l] = off;
+      off += kLayers[l] * kLayers[l + 1];
+      b_off_[l] = off;
+      off += kLayers[l + 1];
+    }
+    params_.resize(off);
+    std::size_t act_total = 0;
+    for (std::size_t l = 1; l < kLayers.size(); ++l) {
+      act_off_[l - 1] = act_total;
+      act_total += kLayers[l] * kMaxObservable;
+    }
+    act_.resize(act_total);
+    dact_.resize(act_total);
+    const std::size_t last = kLayers.size() - 2;
+    for (std::size_t l = 0; l + 1 < kLayers.size(); ++l) {
+      const float scale = std::sqrt(2.0f / static_cast<float>(kLayers[l])) *
+                          (l == last ? 0.01f : 1.0f);
+      float* w = params_.data() + w_off_[l];
+      for (std::size_t i = 0; i < kLayers[l] * kLayers[l + 1]; ++i) {
+        w[i] = scale * static_cast<float>(rng.normal());
+      }
+    }
+  }
+
+  Logits logits(const Observation& obs) const override {
+    constexpr std::size_t J = kMaxObservable;
+    const float* in = obs.features.data();
+    for (std::size_t l = 0; l + 1 < kLayers.size(); ++l) {
+      float* out = act_.data() + act_off_[l];
+      nn::dense_batch_forward(params_.data() + w_off_[l],
+                              params_.data() + b_off_[l], in, out,
+                              kLayers[l + 1], kLayers[l], J,
+                              /*relu=*/l + 2 < kLayers.size());
+      in = out;
+    }
+    Logits out;
+    std::memcpy(out.data(), in, sizeof(out));
+    return out;
+  }
+
+  void backward(const Observation& obs, const Logits& dlogits,
+                float* gparams) const override {
+    constexpr std::size_t J = kMaxObservable;
+    const std::size_t layers = kLayers.size() - 1;
+    std::memcpy(dact_.data() + act_off_[layers - 1], dlogits.data(),
+                sizeof(dlogits));
+    for (std::size_t l = layers; l-- > 0;) {
+      const float* a_in =
+          l == 0 ? obs.features.data() : act_.data() + act_off_[l - 1];
+      float* d_out = dact_.data() + act_off_[l];
+      float* d_in = l == 0 ? nullptr : dact_.data() + act_off_[l - 1];
+      nn::dense_batch_backward(params_.data() + w_off_[l], a_in,
+                               act_.data() + act_off_[l], d_out, d_in,
+                               gparams + w_off_[l], gparams + b_off_[l],
+                               kLayers[l + 1], kLayers[l], J,
+                               /*relu=*/l + 1 < layers);
+    }
+  }
+
+  PolicyKind kind() const override { return PolicyKind::Kernel; }
+
+ private:
+  static constexpr std::array<std::size_t, 5> kLayers = {kJobFeatures, 32,
+                                                         16, 8, 1};
+  std::array<std::size_t, 4> w_off_{}, b_off_{}, act_off_{};
+  mutable std::vector<float> act_, dact_;
+};
+
+// ---------------------------------------------------------------------------
+// Flat MLP baselines: the whole window (features flattened) through dense
+// layers to 128 logits. Destroys permutation equivariance — the paper's
+// point in Fig 8.
+// ---------------------------------------------------------------------------
+class MlpPolicy final : public Policy {
+ public:
+  MlpPolicy(PolicyKind kind, std::vector<std::size_t> hidden, util::Rng& rng)
+      : kind_(kind), net_(make_sizes(std::move(hidden))) {
+    params_.resize(net_.param_count());
+    net_.init(params_.data(), rng, 0.01f);
+  }
+
+  Logits logits(const Observation& obs) const override {
+    const float* out = net_.forward(params_.data(), obs.features.data());
+    Logits l;
+    std::memcpy(l.data(), out, sizeof(l));
+    return l;
+  }
+
+  void backward(const Observation& obs, const Logits& dlogits,
+                float* gparams) const override {
+    net_.backward(params_.data(), obs.features.data(), dlogits.data(),
+                  gparams, nullptr, /*recompute=*/false);
+  }
+
+  PolicyKind kind() const override { return kind_; }
+
+ private:
+  static std::vector<std::size_t> make_sizes(std::vector<std::size_t> hidden) {
+    std::vector<std::size_t> sizes;
+    sizes.push_back(kJobFeatures * kMaxObservable);
+    for (const std::size_t h : hidden) sizes.push_back(h);
+    sizes.push_back(kMaxObservable);
+    return sizes;
+  }
+  PolicyKind kind_;
+  nn::FlatMlp net_;
+};
+
+// ---------------------------------------------------------------------------
+// LeNet-style baseline: conv1d/pool stacks along the job axis, then a dense
+// head. Pooling mixes neighbouring queue slots — the order sensitivity that
+// degrades its training curves.
+// ---------------------------------------------------------------------------
+class LeNetPolicy final : public Policy {
+ public:
+  explicit LeNetPolicy(util::Rng& rng)
+      : head_({kC2 * (kMaxObservable / 4), 64, kMaxObservable}) {
+    conv1_w_ = 0;
+    conv1_b_ = conv1_w_ + kC1 * kJobFeatures * kK;
+    conv2_w_ = conv1_b_ + kC1;
+    conv2_b_ = conv2_w_ + kC2 * kC1 * kK;
+    head_off_ = conv2_b_ + kC2;
+    params_.resize(head_off_ + head_.param_count());
+
+    auto init_conv = [&rng, this](std::size_t w_off, std::size_t count,
+                                  std::size_t fan_in) {
+      const float scale = std::sqrt(2.0f / static_cast<float>(fan_in));
+      for (std::size_t i = 0; i < count; ++i) {
+        params_[w_off + i] = scale * static_cast<float>(rng.normal());
+      }
+    };
+    init_conv(conv1_w_, kC1 * kJobFeatures * kK, kJobFeatures * kK);
+    init_conv(conv2_w_, kC2 * kC1 * kK, kC1 * kK);
+    head_.init(params_.data() + head_off_, rng, 0.01f);
+
+    c1_.resize(kC1 * kMaxObservable);
+    p1_.resize(kC1 * (kMaxObservable / 2));
+    c2_.resize(kC2 * (kMaxObservable / 2));
+    p2_.resize(kC2 * (kMaxObservable / 4));
+    dc1_.resize(c1_.size());
+    dp1_.resize(p1_.size());
+    dc2_.resize(c2_.size());
+    dp2_.resize(p2_.size());
+  }
+
+  Logits logits(const Observation& obs) const override {
+    forward(obs);
+    const float* out = head_.forward(params_.data() + head_off_, p2_.data());
+    Logits l;
+    std::memcpy(l.data(), out, sizeof(l));
+    return l;
+  }
+
+  void backward(const Observation& obs, const Logits& dlogits,
+                float* gparams) const override {
+    head_.backward(params_.data() + head_off_, p2_.data(), dlogits.data(),
+                   gparams + head_off_, dp2_.data(), /*recompute=*/false);
+    constexpr std::size_t L = kMaxObservable;
+    nn::avgpool2_backward(dp2_.data(), dc2_.data(), kC2, L / 2);
+    nn::conv1d_backward(params_.data() + conv2_w_, p1_.data(), c2_.data(),
+                        dc2_.data(), dp1_.data(), gparams + conv2_w_,
+                        gparams + conv2_b_, kC2, kC1, L / 2, kK, true);
+    nn::avgpool2_backward(dp1_.data(), dc1_.data(), kC1, L);
+    nn::conv1d_backward(params_.data() + conv1_w_, obs.features.data(),
+                        c1_.data(), dc1_.data(), nullptr, gparams + conv1_w_,
+                        gparams + conv1_b_, kC1, kJobFeatures, L, kK, true);
+  }
+
+  PolicyKind kind() const override { return PolicyKind::LeNet; }
+
+ private:
+  void forward(const Observation& obs) const {
+    constexpr std::size_t L = kMaxObservable;
+    nn::conv1d_forward(params_.data() + conv1_w_, params_.data() + conv1_b_,
+                       obs.features.data(), c1_.data(), kC1, kJobFeatures, L,
+                       kK, true);
+    nn::avgpool2_forward(c1_.data(), p1_.data(), kC1, L);
+    nn::conv1d_forward(params_.data() + conv2_w_, params_.data() + conv2_b_,
+                       p1_.data(), c2_.data(), kC2, kC1, L / 2, kK, true);
+    nn::avgpool2_forward(c2_.data(), p2_.data(), kC2, L / 2);
+  }
+
+  static constexpr std::size_t kC1 = 8, kC2 = 8, kK = 5;
+  std::size_t conv1_w_, conv1_b_, conv2_w_, conv2_b_, head_off_;
+  nn::FlatMlp head_;
+  mutable std::vector<float> c1_, p1_, c2_, p2_, dc1_, dp1_, dc2_, dp2_;
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                    std::size_t max_observable,
+                                    util::Rng& rng) {
+  if (max_observable > kMaxObservable) {
+    throw std::invalid_argument(
+        "max_observable exceeds compiled kMaxObservable");
+  }
+  switch (kind) {
+    case PolicyKind::Kernel:
+      return std::make_unique<KernelPolicy>(rng);
+    case PolicyKind::MlpV1:
+      return std::make_unique<MlpPolicy>(kind,
+                                         std::vector<std::size_t>{128, 128},
+                                         rng);
+    case PolicyKind::MlpV2:
+      return std::make_unique<MlpPolicy>(kind,
+                                         std::vector<std::size_t>{256, 256},
+                                         rng);
+    case PolicyKind::MlpV3:
+      return std::make_unique<MlpPolicy>(kind,
+                                         std::vector<std::size_t>{512, 512},
+                                         rng);
+    case PolicyKind::LeNet:
+      return std::make_unique<LeNetPolicy>(rng);
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+}  // namespace rlsched::rl

@@ -1,0 +1,323 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace rlsched::rl {
+
+namespace {
+constexpr std::size_t kMaxFilterAttempts = 25;
+
+void write_params(std::ofstream& out, const std::vector<float>& p) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out << p[i] << (i + 1 == p.size() ? '\n' : ' ');
+  }
+  if (p.empty()) out << '\n';
+}
+}  // namespace
+
+PPOTrainer::PPOTrainer(const trace::Trace& trace, PPOConfig cfg)
+    : trace_(trace),
+      cfg_(cfg),
+      rng_(cfg.seed * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15ULL),
+      env_(trace.processors(), sim::EnvConfig{cfg.backfill, kMaxObservable}),
+      policy_(make_policy(cfg.policy, kMaxObservable, rng_)),
+      value_net_({kJobFeatures * kMaxObservable, 32, 32, 1}),
+      value_params_(value_net_.param_count()),
+      pi_opt_(policy_->parameter_count(), cfg.pi_lr),
+      v_opt_(value_net_.param_count(), cfg.v_lr) {
+  if (cfg_.seq_len == 0) cfg_.seq_len = 256;
+  if (cfg_.trajectories_per_epoch == 0) cfg_.trajectories_per_epoch = 1;
+  value_net_.init(value_params_.data(), rng_, 1.0f);
+
+  const std::size_t cap = cfg_.trajectories_per_epoch * cfg_.seq_len;
+  obs_buf_.reserve(cap);
+  act_buf_.reserve(cap);
+  logp_buf_.reserve(cap);
+  val_buf_.reserve(cap);
+  adv_buf_.reserve(cap);
+  ret_buf_.reserve(cap);
+  traj_end_.reserve(cfg_.trajectories_per_epoch);
+  traj_reward_.reserve(cfg_.trajectories_per_epoch);
+  pi_grad_.resize(policy_->parameter_count());
+  v_grad_.resize(value_net_.param_count());
+  probs_.resize(kMaxObservable);
+  perm_.reserve(cap);
+}
+
+double PPOTrainer::reward_of(const sim::RunResult& r) const {
+  if (!cfg_.composite.empty()) return cfg_.composite.reward(r);
+  return sim::reward_sign(cfg_.metric) * r.value(cfg_.metric);
+}
+
+void PPOTrainer::collect_trajectories() {
+  obs_buf_.clear();
+  act_buf_.clear();
+  logp_buf_.clear();
+  val_buf_.clear();
+  traj_end_.clear();
+  traj_reward_.clear();
+  epoch_metric_sum_ = 0.0;
+
+  if (cfg_.trajectory_filtering && !filter_ready_) {
+    filter_range_ =
+        compute_filter_range(trace_, cfg_.metric, cfg_.seq_len,
+                             kFilterProbeSamples, cfg_.seed ^ kFilterSeedSalt);
+    // A degenerate range (all sequences equally easy) would reject
+    // everything; fall back to unfiltered sampling in that case.
+    if (!(filter_range_.hi > filter_range_.lo)) {
+      filter_range_ = {-1e300, 1e300};
+    }
+    filter_ready_ = true;
+  }
+
+  for (std::size_t t = 0; t < cfg_.trajectories_per_epoch; ++t) {
+    std::vector<trace::Job> seq;
+    if (cfg_.trajectory_filtering) {
+      for (std::size_t attempt = 0; attempt < kMaxFilterAttempts; ++attempt) {
+        seq = trace_.sample_sequence(rng_, cfg_.seq_len);
+        if (filter_range_.contains(
+                sjf_metric(seq, trace_.processors(), cfg_.metric))) {
+          break;
+        }
+      }
+    } else {
+      seq = trace_.sample_sequence(rng_, cfg_.seq_len);
+    }
+
+    env_.reset(std::move(seq));
+    while (!env_.done()) {
+      const Observation obs = builder_.build(env_);
+      const Logits logits = policy_->logits(obs);
+      nn::softmax_masked(logits.data(), obs.mask.data(), probs_.data(),
+                         kMaxObservable);
+      // Sample from the masked categorical.
+      double u = rng_.uniform();
+      std::size_t a = 0;
+      for (std::size_t i = 0; i < kMaxObservable; ++i) {
+        if (obs.mask[i] == 0) continue;
+        a = i;
+        u -= probs_[i];
+        if (u <= 0.0) break;
+      }
+      const float v = *value_net_.forward(value_params_.data(),
+                                          obs.features.data());
+      obs_buf_.push_back(obs);
+      act_buf_.push_back(static_cast<std::uint32_t>(a));
+      logp_buf_.push_back(std::log(std::max(probs_[a], 1e-10f)));
+      val_buf_.push_back(v);
+      env_.step(a);
+    }
+    const sim::RunResult result = env_.result();
+    traj_end_.push_back(obs_buf_.size());
+    traj_reward_.push_back(static_cast<float>(reward_of(result)));
+    epoch_metric_sum_ += result.value(cfg_.metric);
+  }
+  steps_ = obs_buf_.size();
+}
+
+void PPOTrainer::compute_advantages() {
+  adv_buf_.assign(steps_, 0.0f);
+  ret_buf_.assign(steps_, 0.0f);
+
+  // Normalize terminal rewards across the epoch's rollouts: metrics like
+  // bounded slowdown span orders of magnitude and would otherwise swamp the
+  // value regression.
+  float mean = 0.0f;
+  for (const float r : traj_reward_) mean += r;
+  mean /= static_cast<float>(traj_reward_.size());
+  float var = 0.0f;
+  for (const float r : traj_reward_) var += (r - mean) * (r - mean);
+  var /= static_cast<float>(traj_reward_.size());
+  const float scale = 1.0f / std::sqrt(var + 1e-6f);
+
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < traj_end_.size(); ++t) {
+    const std::size_t end = traj_end_[t];
+    const float reward = (traj_reward_[t] - mean) * scale;
+    // GAE backward recursion; rewards are 0 except at the terminal step.
+    float adv = 0.0f;
+    for (std::size_t i = end; i-- > begin;) {
+      const float next_v = i + 1 < end ? val_buf_[i + 1] : 0.0f;
+      const float r = i + 1 == end ? reward : 0.0f;
+      const float delta = r + cfg_.gamma * next_v - val_buf_[i];
+      adv = delta + cfg_.gamma * cfg_.lam * adv;
+      adv_buf_[i] = adv;
+      ret_buf_[i] = adv + val_buf_[i];
+    }
+    begin = end;
+  }
+
+  // Standardize advantages over the whole buffer.
+  float a_mean = 0.0f;
+  for (std::size_t i = 0; i < steps_; ++i) a_mean += adv_buf_[i];
+  a_mean /= static_cast<float>(steps_);
+  float a_var = 0.0f;
+  for (std::size_t i = 0; i < steps_; ++i) {
+    a_var += (adv_buf_[i] - a_mean) * (adv_buf_[i] - a_mean);
+  }
+  a_var /= static_cast<float>(steps_);
+  const float a_scale = 1.0f / std::sqrt(a_var + 1e-6f);
+  for (std::size_t i = 0; i < steps_; ++i) {
+    adv_buf_[i] = (adv_buf_[i] - a_mean) * a_scale;
+  }
+}
+
+void PPOTrainer::reset_perm() {
+  perm_.resize(steps_);
+  for (std::size_t i = 0; i < steps_; ++i) {
+    perm_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void PPOTrainer::update_policy() {
+  const std::size_t batch =
+      cfg_.minibatch == 0 ? steps_ : std::min(cfg_.minibatch, steps_);
+  reset_perm();
+
+  Logits dlogits;
+  for (std::size_t iter = 0; iter < cfg_.pi_iters; ++iter) {
+    // Fisher-Yates shuffle with the trainer's own rng (reproducible).
+    for (std::size_t i = steps_; i-- > 1;) {
+      const std::size_t j = static_cast<std::size_t>(rng_.below(i + 1));
+      std::swap(perm_[i], perm_[j]);
+    }
+    double kl_sum = 0.0;
+    for (std::size_t start = 0; start < steps_; start += batch) {
+      const std::size_t stop = std::min(start + batch, steps_);
+      const float inv_batch = 1.0f / static_cast<float>(stop - start);
+      std::fill(pi_grad_.begin(), pi_grad_.end(), 0.0f);
+      for (std::size_t s = start; s < stop; ++s) {
+        const std::size_t i = perm_[s];
+        const Observation& obs = obs_buf_[i];
+        const Logits logits = policy_->logits(obs);
+        nn::softmax_masked(logits.data(), obs.mask.data(), probs_.data(),
+                           kMaxObservable);
+        const std::uint32_t a = act_buf_[i];
+        const float logp_new = std::log(std::max(probs_[a], 1e-10f));
+        const float ratio = std::exp(logp_new - logp_buf_[i]);
+        const float adv = adv_buf_[i];
+        kl_sum += logp_buf_[i] - logp_new;
+        // Clipped surrogate: zero gradient once the ratio leaves the trust
+        // region in the advantage's direction.
+        const bool clipped = (adv >= 0.0f && ratio > 1.0f + cfg_.clip) ||
+                             (adv < 0.0f && ratio < 1.0f - cfg_.clip);
+        if (clipped) continue;
+        const float coef = ratio * adv * inv_batch;
+        for (std::size_t k = 0; k < kMaxObservable; ++k) {
+          // d(-logpi[a])/dlogits = probs - onehot(a), times -coef
+          dlogits[k] = coef * probs_[k];
+        }
+        dlogits[a] -= coef;
+        policy_->backward(obs, dlogits, pi_grad_.data());
+      }
+      pi_opt_.step(policy_->param_vector().data(), pi_grad_.data());
+    }
+    if (kl_sum / static_cast<double>(steps_) > cfg_.target_kl) break;
+  }
+}
+
+void PPOTrainer::update_value() {
+  const std::size_t batch =
+      cfg_.minibatch == 0 ? steps_ : std::min(cfg_.minibatch, steps_);
+  reset_perm();
+  float dout = 0.0f;
+  for (std::size_t iter = 0; iter < cfg_.v_iters; ++iter) {
+    for (std::size_t i = steps_; i-- > 1;) {
+      const std::size_t j = static_cast<std::size_t>(rng_.below(i + 1));
+      std::swap(perm_[i], perm_[j]);
+    }
+    for (std::size_t start = 0; start < steps_; start += batch) {
+      const std::size_t stop = std::min(start + batch, steps_);
+      const float inv_batch = 1.0f / static_cast<float>(stop - start);
+      std::fill(v_grad_.begin(), v_grad_.end(), 0.0f);
+      for (std::size_t s = start; s < stop; ++s) {
+        const std::size_t i = perm_[s];
+        const float v = *value_net_.forward(value_params_.data(),
+                                            obs_buf_[i].features.data());
+        dout = 2.0f * (v - ret_buf_[i]) * inv_batch;
+        value_net_.backward(value_params_.data(),
+                            obs_buf_[i].features.data(), &dout,
+                            v_grad_.data(), nullptr, /*recompute=*/false);
+      }
+      v_opt_.step(value_params_.data(), v_grad_.data());
+    }
+  }
+}
+
+EpochStats PPOTrainer::train_epoch() {
+  const auto t0 = std::chrono::steady_clock::now();
+  collect_trajectories();
+  if (steps_ > 0) {
+    compute_advantages();
+    update_policy();
+    update_value();
+  }
+  EpochStats stats;
+  stats.epoch = epoch_++;
+  stats.avg_metric =
+      traj_end_.empty()
+          ? 0.0
+          : epoch_metric_sum_ / static_cast<double>(traj_end_.size());
+  stats.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return stats;
+}
+
+sim::RunResult PPOTrainer::evaluate(const std::vector<trace::Job>& seq,
+                                    int processors, bool backfill) const {
+  sim::SchedulingEnv env(processors, sim::EnvConfig{backfill, kMaxObservable});
+  env.reset(seq);
+  while (!env.done()) {
+    const Observation obs = builder_.build(env);
+    const Logits logits = policy_->logits(obs);
+    env.step(nn::argmax_masked(logits.data(), obs.mask.data(),
+                               kMaxObservable));
+  }
+  return env.result();
+}
+
+void PPOTrainer::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write model file: " + path);
+  out << "rlsched-model 1\n";
+  out << "policy " << policy_kind_name(cfg_.policy) << ' '
+      << policy_->parameter_count() << '\n';
+  out.precision(9);
+  write_params(out, policy_->param_vector());
+  out << "value " << value_params_.size() << '\n';
+  write_params(out, value_params_);
+}
+
+void PPOTrainer::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read model file: " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "rlsched-model" || version != 1) {
+    throw std::runtime_error("unrecognized model file: " + path);
+  }
+  std::string section, kind;
+  std::size_t count = 0;
+  in >> section >> kind >> count;
+  if (section != "policy" || kind != policy_kind_name(cfg_.policy) ||
+      count != policy_->parameter_count()) {
+    throw std::runtime_error("model file does not match configuration: " +
+                             path);
+  }
+  for (float& p : policy_->param_vector()) in >> p;
+  in >> section >> count;
+  if (section != "value" || count != value_params_.size()) {
+    throw std::runtime_error("model file value section mismatch: " + path);
+  }
+  for (float& p : value_params_) in >> p;
+  if (!in) throw std::runtime_error("truncated model file: " + path);
+}
+
+}  // namespace rlsched::rl

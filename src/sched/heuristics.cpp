@@ -1,0 +1,51 @@
+#include "sched/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlsched::sched {
+
+namespace {
+using trace::Job;
+
+double fcfs(const Job& j, double) { return j.submit_time; }
+
+double sjf(const Job& j, double) { return j.requested_time; }
+
+double wfp3(const Job& j, double now) {
+  const double wait = std::max(now - j.submit_time, 0.0);
+  const double r = wait / std::max(j.requested_time, 1.0);
+  return -(r * r * r) * static_cast<double>(j.requested_procs);
+}
+
+double unicep(const Job& j, double now) {
+  const double wait = std::max(now - j.submit_time, 0.0);
+  const double denom =
+      std::log2(std::max(2.0, static_cast<double>(j.requested_procs))) *
+      std::max(j.requested_time, 1.0);
+  return -wait / denom;
+}
+
+double f1(const Job& j, double) {
+  return std::log10(std::max(j.requested_time, 1.0)) *
+             static_cast<double>(j.requested_procs) +
+         870.0 * std::log10(std::max(j.submit_time, 1.0));
+}
+}  // namespace
+
+sim::PriorityFn fcfs_priority() { return &fcfs; }
+sim::PriorityFn sjf_priority() { return &sjf; }
+sim::PriorityFn wfp3_priority() { return &wfp3; }
+sim::PriorityFn unicep_priority() { return &unicep; }
+sim::PriorityFn f1_priority() { return &f1; }
+
+const std::vector<Heuristic>& all_heuristics() {
+  static const std::vector<Heuristic> heuristics = {
+      {"FCFS", fcfs_priority()}, {"WFP3", wfp3_priority()},
+      {"UNICEP", unicep_priority()}, {"SJF", sjf_priority()},
+      {"F1", f1_priority()},
+  };
+  return heuristics;
+}
+
+}  // namespace rlsched::sched

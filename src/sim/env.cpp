@@ -1,0 +1,294 @@
+#include "sim/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rlsched::sim {
+
+namespace {
+constexpr double kBoundedThreshold = 10.0;  // interactive threshold (seconds)
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double bounded_slowdown(double wait, double run) {
+  return std::max((wait + run) / std::max(run, kBoundedThreshold), 1.0);
+}
+}  // namespace
+
+std::string metric_name(Metric m) {
+  switch (m) {
+    case Metric::BoundedSlowdown: return "bounded_slowdown";
+    case Metric::Slowdown: return "slowdown";
+    case Metric::WaitTime: return "wait_time";
+    case Metric::Turnaround: return "turnaround";
+    case Metric::Utilization: return "utilization";
+    case Metric::FairBoundedSlowdown: return "fair_bounded_slowdown";
+  }
+  return "unknown";
+}
+
+int reward_sign(Metric m) { return m == Metric::Utilization ? 1 : -1; }
+
+double RunResult::value(Metric m) const {
+  switch (m) {
+    case Metric::BoundedSlowdown: return avg_bounded_slowdown;
+    case Metric::Slowdown: return avg_slowdown;
+    case Metric::WaitTime: return avg_wait;
+    case Metric::Turnaround: return avg_turnaround;
+    case Metric::Utilization: return utilization;
+    case Metric::FairBoundedSlowdown: return max_user_bounded_slowdown;
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<int, double>> per_user_bounded_slowdown(
+    const std::vector<trace::Job>& jobs) {
+  std::vector<std::pair<int, double>> sums;   // user -> (sum)
+  std::vector<std::pair<int, std::size_t>> counts;
+  for (const trace::Job& j : jobs) {
+    if (!j.scheduled()) continue;
+    const double b = bounded_slowdown(j.wait_time(), j.run_time);
+    auto it = std::lower_bound(
+        sums.begin(), sums.end(), j.user,
+        [](const auto& p, int u) { return p.first < u; });
+    const auto pos = it - sums.begin();
+    if (it == sums.end() || it->first != j.user) {
+      sums.insert(it, {j.user, b});
+      counts.insert(counts.begin() + pos, {j.user, 1});
+    } else {
+      it->second += b;
+      counts[static_cast<std::size_t>(pos)].second += 1;
+    }
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    sums[i].second /= static_cast<double>(counts[i].second);
+  }
+  return sums;
+}
+
+SchedulingEnv::SchedulingEnv(int processors, EnvConfig cfg)
+    : processors_(processors), cfg_(cfg), free_(processors) {
+  if (cfg_.max_observable == 0 || cfg_.max_observable > kMaxObservable) {
+    cfg_.max_observable = kMaxObservable;
+  }
+}
+
+void SchedulingEnv::reset(const std::vector<trace::Job>& jobs) {
+  jobs_ = jobs;
+  prepare();
+}
+
+void SchedulingEnv::reset(std::vector<trace::Job>&& jobs) {
+  jobs_ = std::move(jobs);
+  prepare();
+}
+
+void SchedulingEnv::prepare() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const trace::Job& a, const trace::Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  const std::size_t n = jobs_.size();
+  pending_.clear();
+  pending_.reserve(n);
+  running_.clear();
+  running_.reserve(n);
+  shadow_.clear();
+  shadow_.reserve(n);
+
+  user_ids_.clear();
+  user_ids_.reserve(n);
+  for (trace::Job& j : jobs_) {
+    j.reset_schedule_state();
+    j.requested_procs = std::clamp(j.requested_procs, 1, processors_);
+    if (j.requested_time < j.run_time) j.requested_time = j.run_time;
+    user_ids_.push_back(j.user);
+  }
+  std::sort(user_ids_.begin(), user_ids_.end());
+  user_ids_.erase(std::unique(user_ids_.begin(), user_ids_.end()),
+                  user_ids_.end());
+  user_bsld_sum_.assign(user_ids_.size(), 0.0);
+  user_count_.assign(user_ids_.size(), 0);
+
+  free_ = processors_;
+  next_arrival_ = 0;
+  started_ = 0;
+  sum_bsld_ = sum_sld_ = sum_wait_ = sum_turn_ = 0.0;
+  busy_area_ = 0.0;
+  now_ = n > 0 ? jobs_.front().submit_time : 0.0;
+  min_submit_ = now_;
+  max_end_ = now_;
+  arrive_until_now();
+  ensure_pending();
+}
+
+void SchedulingEnv::arrive_until_now() {
+  while (next_arrival_ < jobs_.size() &&
+         jobs_[next_arrival_].submit_time <= now_) {
+    pending_.push_back(static_cast<std::uint32_t>(next_arrival_));
+    ++next_arrival_;
+  }
+}
+
+void SchedulingEnv::advance_one_event() {
+  double t = kInf;
+  if (!running_.empty()) t = running_.front().end;
+  if (next_arrival_ < jobs_.size()) {
+    t = std::min(t, jobs_[next_arrival_].submit_time);
+  }
+  if (t == kInf) return;  // nothing left to happen
+  now_ = std::max(now_, t);
+  while (!running_.empty() && running_.front().end <= now_) {
+    free_ += running_.front().procs;
+    std::pop_heap(running_.begin(), running_.end(), CompletionLater{});
+    running_.pop_back();
+  }
+  arrive_until_now();
+}
+
+void SchedulingEnv::ensure_pending() {
+  while (pending_.empty() && !done()) advance_one_event();
+}
+
+void SchedulingEnv::start_job(std::uint32_t idx) {
+  trace::Job& j = jobs_[idx];
+  j.start_time = now_;
+  free_ -= j.requested_procs;
+  running_.push_back({j.end_time(), j.requested_procs});
+  std::push_heap(running_.begin(), running_.end(), CompletionLater{});
+  ++started_;
+
+  const double wait = j.wait_time();
+  const double bsld = bounded_slowdown(wait, j.run_time);
+  sum_bsld_ += bsld;
+  sum_sld_ += (wait + j.run_time) / std::max(j.run_time, 1.0);
+  sum_wait_ += wait;
+  sum_turn_ += wait + j.run_time;
+  busy_area_ += j.run_time * j.requested_procs;
+  max_end_ = std::max(max_end_, j.end_time());
+
+  const auto it =
+      std::lower_bound(user_ids_.begin(), user_ids_.end(), j.user);
+  const auto ui = static_cast<std::size_t>(it - user_ids_.begin());
+  user_bsld_sum_[ui] += bsld;
+  user_count_[ui] += 1;
+}
+
+double SchedulingEnv::reservation(int needed, int* spare) {
+  // Replay completions in end order over a scratch copy of the heap until
+  // `needed` processors are free. Capacity was reserved in prepare(): the
+  // assign/sort below never allocate.
+  shadow_.assign(running_.begin(), running_.end());
+  std::sort(shadow_.begin(), shadow_.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.end < b.end;
+            });
+  int f = free_;
+  for (const Completion& c : shadow_) {
+    f += c.procs;
+    if (f >= needed) {
+      if (spare != nullptr) *spare = f - needed;
+      return c.end;
+    }
+  }
+  if (spare != nullptr) *spare = std::max(0, f - needed);
+  return now_;  // trace requests more than the machine has; start anyway
+}
+
+void SchedulingEnv::try_backfill(const trace::Job& head) {
+  bool progress = true;
+  while (progress && free_ > 0 && !pending_.empty()) {
+    progress = false;
+    int spare = 0;
+    const double t_reserve = reservation(head.requested_procs, &spare);
+    for (std::size_t p = 0; p < pending_.size(); ++p) {
+      const trace::Job& c = jobs_[pending_[p]];
+      if (c.requested_procs > free_) continue;
+      // EASY: a job may jump the queue only if it cannot delay the head's
+      // reservation — it finishes (by its own estimate) before the
+      // reservation, or it fits in processors the head will not need.
+      const bool fits_window = now_ + c.requested_time <= t_reserve;
+      const bool fits_spare = c.requested_procs <= spare;
+      if (!fits_window && !fits_spare) continue;
+      const std::uint32_t idx = pending_[p];
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(p));
+      start_job(idx);
+      progress = true;
+      break;  // free/running changed: recompute the reservation
+    }
+  }
+}
+
+void SchedulingEnv::start_with_wait(std::uint32_t idx) {
+  const trace::Job& j = jobs_[idx];
+  while (free_ < j.requested_procs) {
+    if (cfg_.backfill) try_backfill(j);
+    if (free_ >= j.requested_procs) break;
+    advance_one_event();
+  }
+  start_job(idx);
+}
+
+bool SchedulingEnv::step(std::size_t action) {
+  ensure_pending();
+  if (done()) return true;
+  const std::size_t window = std::min(pending_.size(), cfg_.max_observable);
+  if (action >= window) action = window - 1;  // defensive clamp
+  const std::uint32_t idx = pending_[action];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(action));
+  start_with_wait(idx);
+  ensure_pending();
+  return done();
+}
+
+RunResult SchedulingEnv::run_priority(const PriorityFn& priority) {
+  while (!done()) {
+    ensure_pending();
+    if (pending_.empty()) break;
+    // O(k) min-scan beats a full sort here: one decision needs one minimum,
+    // and it keeps the loop allocation-free.
+    std::size_t best = 0;
+    double best_score = priority(jobs_[pending_[0]], now_);
+    for (std::size_t p = 1; p < pending_.size(); ++p) {
+      const double s = priority(jobs_[pending_[p]], now_);
+      if (s < best_score) {
+        best_score = s;
+        best = p;
+      }
+    }
+    const std::uint32_t idx = pending_[best];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+    start_with_wait(idx);
+  }
+  return result();
+}
+
+std::span<const std::uint32_t> SchedulingEnv::observable() const {
+  return {pending_.data(), std::min(pending_.size(), cfg_.max_observable)};
+}
+
+RunResult SchedulingEnv::result() const {
+  RunResult r;
+  r.jobs = started_;
+  if (started_ == 0) return r;
+  const double n = static_cast<double>(started_);
+  r.avg_bounded_slowdown = sum_bsld_ / n;
+  r.avg_slowdown = sum_sld_ / n;
+  r.avg_wait = sum_wait_ / n;
+  r.avg_turnaround = sum_turn_ / n;
+  r.makespan = max_end_ - min_submit_;
+  r.utilization = r.makespan > 0.0
+                      ? busy_area_ / (static_cast<double>(processors_) *
+                                      r.makespan)
+                      : 0.0;
+  double worst = 0.0;
+  for (std::size_t u = 0; u < user_ids_.size(); ++u) {
+    if (user_count_[u] == 0) continue;
+    worst = std::max(worst,
+                     user_bsld_sum_[u] / static_cast<double>(user_count_[u]));
+  }
+  r.max_user_bounded_slowdown = worst;
+  return r;
+}
+
+}  // namespace rlsched::sim

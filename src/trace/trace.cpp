@@ -1,0 +1,135 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlsched::trace {
+
+Trace::Trace(std::string name, int processors, std::vector<Job> jobs)
+    : name_(std::move(name)), processors_(processors), jobs_(std::move(jobs)) {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+}
+
+Trace Trace::load_swf(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SWF file: " + path);
+
+  int max_procs = 0;
+  std::vector<Job> jobs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      // Header comment; look for "; MaxProcs: N" (or MaxNodes as fallback).
+      const auto parse_header = [&line](const char* key) -> long {
+        const auto pos = line.find(key);
+        if (pos == std::string::npos) return -1;
+        const auto colon = line.find(':', pos);
+        if (colon == std::string::npos) return -1;
+        return std::strtol(line.c_str() + colon + 1, nullptr, 10);
+      };
+      const long procs = parse_header("MaxProcs");
+      if (procs > 0) max_procs = static_cast<int>(procs);
+      else if (max_procs == 0) {
+        const long nodes = parse_header("MaxNodes");
+        if (nodes > 0) max_procs = static_cast<int>(nodes);
+      }
+      continue;
+    }
+    // SWF data row: 18 whitespace-separated fields.
+    std::istringstream fields(line);
+    double f[18];
+    int n = 0;
+    while (n < 18 && (fields >> f[n])) ++n;
+    if (n < 9) continue;  // malformed row: skip
+    Job j;
+    j.id = static_cast<std::int64_t>(f[0]);
+    j.submit_time = f[1];
+    j.run_time = f[3] > 0.0 ? f[3] : 0.0;
+    const double alloc = f[4];
+    const double req_procs = f[7];
+    j.requested_procs =
+        static_cast<int>(req_procs > 0.0 ? req_procs
+                                         : (alloc > 0.0 ? alloc : 1.0));
+    j.requested_time = f[8] > 0.0 ? f[8] : j.run_time;
+    j.user = n > 11 ? static_cast<int>(f[11]) : 0;
+    jobs.push_back(j);
+  }
+  if (max_procs == 0) {
+    for (const Job& j : jobs) max_procs = std::max(max_procs, j.requested_procs);
+  }
+  return Trace(name.empty() ? path : name, max_procs, std::move(jobs));
+}
+
+void Trace::save_swf(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write SWF file: " + path);
+  out << "; SWF trace written by rlsched\n"
+      << "; MaxProcs: " << processors_ << "\n"
+      << "; MaxJobs: " << jobs_.size() << "\n"
+      << "; UnixStartTime: 0\n";
+  out << std::setprecision(12);
+  for (const Job& j : jobs_) {
+    // id submit wait run alloc cpu mem req_procs req_time req_mem status
+    // user group exe queue partition prev think
+    out << j.id << ' ' << j.submit_time << " -1 " << j.run_time << ' '
+        << j.requested_procs << " -1 -1 " << j.requested_procs << ' '
+        << j.requested_time << " -1 1 " << j.user
+        << " -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+std::vector<Job> Trace::sequence(std::size_t start, std::size_t len) const {
+  if (jobs_.empty() || len == 0) return {};
+  start = std::min(start, jobs_.size() - 1);
+  len = std::min(len, jobs_.size() - start);
+  std::vector<Job> out(jobs_.begin() + static_cast<std::ptrdiff_t>(start),
+                       jobs_.begin() + static_cast<std::ptrdiff_t>(start + len));
+  const double base = out.front().submit_time;
+  for (Job& j : out) {
+    j.submit_time -= base;
+    j.reset_schedule_state();
+  }
+  return out;
+}
+
+std::vector<Job> Trace::sample_sequence(util::Rng& rng, std::size_t len) const {
+  if (jobs_.empty()) return {};
+  len = std::min(len, jobs_.size());
+  const std::size_t start =
+      static_cast<std::size_t>(rng.below(jobs_.size() - len + 1));
+  return sequence(start, len);
+}
+
+Characteristics Trace::characteristics() const {
+  Characteristics c;
+  c.name = name_;
+  c.processors = processors_;
+  c.jobs = jobs_.size();
+  if (jobs_.empty()) return c;
+  double sum_rt = 0.0, sum_np = 0.0;
+  std::set<int> users;
+  for (const Job& j : jobs_) {
+    sum_rt += j.requested_time;
+    sum_np += j.requested_procs;
+    users.insert(j.user);
+  }
+  const double n = static_cast<double>(jobs_.size());
+  if (jobs_.size() > 1) {
+    c.mean_interarrival =
+        (jobs_.back().submit_time - jobs_.front().submit_time) / (n - 1.0);
+  }
+  c.mean_requested_time = sum_rt / n;
+  c.mean_requested_procs = sum_np / n;
+  c.distinct_users = users.size();
+  return c;
+}
+
+}  // namespace rlsched::trace

@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rlsched::util {
+
+namespace {
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  if (i + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(i);
+  return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+}
+}  // namespace
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile(sorted, 0.5);
+  s.p95 = quantile(sorted, 0.95);
+  s.p99 = quantile(sorted, 0.99);
+  double sum = 0.0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double m2 = 0.0, m3 = 0.0;
+  for (const double v : sorted) {
+    const double d = v - s.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(s.count);
+  m3 /= static_cast<double>(s.count);
+  s.stddev = std::sqrt(m2);
+  s.skewness = m2 > 0.0 ? m3 / std::pow(m2, 1.5) : 0.0;
+  return s;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi > lo ? hi : lo + 1.0), counts_(bins > 0 ? bins : 1, 0) {}
+
+void Histogram::add(double v) {
+  if (v < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (v >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const double t = (v - lo_) / (hi_ - lo_);
+  std::size_t bin = static_cast<std::size_t>(
+      t * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  const double bin_w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = lo_ + bin_w * static_cast<double>(i);
+    out << "[" << b_lo << ", " << (b_lo + bin_w) << ") " << counts_[i] << " |";
+    const std::size_t bar =
+        counts_[i] == 0
+            ? 0
+            : std::max<std::size_t>(1, counts_[i] * width / peak);
+    for (std::size_t k = 0; k < bar; ++k) out << '#';
+    out << '\n';
+  }
+  if (underflow_ > 0) out << "(underflow merged into first bin: " << underflow_ << ")\n";
+  if (overflow_ > 0) out << "(overflow merged into last bin: " << overflow_ << ")\n";
+  return out.str();
+}
+
+}  // namespace rlsched::util

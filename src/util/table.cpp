@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rlsched::util {
+
+std::string Table::fmt(double v, int digits) {
+  std::ostringstream out;
+  out << std::setprecision(digits) << v;
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(t.header_);
+  for (const auto& r : t.rows_) grow(r);
+
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << (i == 0 ? "| " : " ") << std::left
+         << std::setw(static_cast<int>(widths[i])) << cell << " |";
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 1;
+  for (const std::size_t w : widths) total += w + 3;
+
+  os << "== " << t.title_ << " ==\n";
+  if (!t.header_.empty()) {
+    emit(t.header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : t.rows_) emit(r);
+  return os;
+}
+
+}  // namespace rlsched::util

@@ -1,0 +1,102 @@
+// EASY invariant: backfilled jobs may never delay the queue head's
+// reservation. Fixture on a 4-processor machine under FCFS:
+//   J0: submit 0, 2 procs, run 100  -> starts immediately, ends 100
+//   J1: submit 1, 4 procs, run 10   -> head; reservation at t=100
+//   C : submit 2, 2 procs           -> the backfill candidate
+// A short candidate (runtime 50) fits the backfill window and must start at
+// t=2 without moving J1. A long candidate (runtime 150) overlaps the
+// reservation with no spare processors and must NOT be backfilled.
+#include <vector>
+
+#include "sched/heuristics.hpp"
+#include "sim/env.hpp"
+#include "test_util.hpp"
+
+namespace {
+using namespace rlsched;
+
+std::vector<trace::Job> fixture(double candidate_runtime) {
+  std::vector<trace::Job> jobs(3);
+  jobs[0] = {.id = 1, .submit_time = 0, .run_time = 100,
+             .requested_time = 100, .requested_procs = 2, .user = 1};
+  jobs[1] = {.id = 2, .submit_time = 1, .run_time = 10, .requested_time = 10,
+             .requested_procs = 4, .user = 2};
+  jobs[2] = {.id = 3, .submit_time = 2, .run_time = candidate_runtime,
+             .requested_time = candidate_runtime, .requested_procs = 2,
+             .user = 3};
+  return jobs;
+}
+}  // namespace
+
+int main() {
+  // Candidate finishes before the head's reservation: backfills at t=2 and
+  // the head still starts exactly at its reservation (t=100).
+  {
+    sim::SchedulingEnv env(4, {.backfill = true});
+    env.reset(fixture(50.0));
+    env.run_priority(sched::fcfs_priority());
+    CHECK_NEAR(env.jobs()[0].start_time, 0.0, 1e-9);
+    CHECK_NEAR(env.jobs()[2].start_time, 2.0, 1e-9);    // backfilled
+    CHECK_NEAR(env.jobs()[1].start_time, 100.0, 1e-9);  // head undelayed
+  }
+
+  // Candidate overruns the reservation window: EASY must refuse it, the
+  // head starts at t=100, and the candidate runs after the head.
+  {
+    sim::SchedulingEnv env(4, {.backfill = true});
+    env.reset(fixture(150.0));
+    env.run_priority(sched::fcfs_priority());
+    CHECK_NEAR(env.jobs()[1].start_time, 100.0, 1e-9);  // head undelayed
+    CHECK(env.jobs()[2].start_time >= 110.0 - 1e-9);    // after the head
+  }
+
+  // Sweep: under FCFS, enabling backfill must never delay any job that was
+  // the queue head, and never delay the final head's start in particular.
+  {
+    std::vector<trace::Job> jobs;
+    // A pseudo-random but fixed workload with mixed widths.
+    const int widths[] = {1, 3, 2, 4, 1, 2, 3, 1, 4, 2, 1, 2};
+    const double runs[] = {40, 90, 15, 60, 120, 25, 70, 10, 95, 30, 55, 20};
+    for (int i = 0; i < 12; ++i) {
+      trace::Job j;
+      j.id = i + 1;
+      j.submit_time = 3.0 * i;
+      j.run_time = runs[i];
+      j.requested_time = runs[i];
+      j.requested_procs = widths[i];
+      j.user = i % 3;
+      jobs.push_back(j);
+    }
+    sim::SchedulingEnv plain(4);
+    plain.reset(jobs);
+    const auto no_bf = plain.run_priority(sched::fcfs_priority());
+    sim::SchedulingEnv easy(4, {.backfill = true});
+    easy.reset(jobs);
+    const auto bf = easy.run_priority(sched::fcfs_priority());
+    CHECK(no_bf.jobs == jobs.size());
+    CHECK(bf.jobs == jobs.size());
+    // EASY guarantees head protection per decision, not a pointwise-better
+    // schedule (a spare-processor backfill may shift later arrivals). What
+    // must hold: both schedules evolve identically until the first backfill
+    // event, so the earliest deviation IN TIME is a queue-jump — some job
+    // starting earlier — never a delay.
+    std::size_t first_dev = jobs.size();
+    double first_dev_time = 1e300;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const double e = easy.jobs()[i].start_time;
+      const double p = plain.jobs()[i].start_time;
+      if (std::fabs(e - p) <= 1e-9) continue;
+      const double when = std::min(e, p);
+      if (when < first_dev_time) {
+        first_dev_time = when;
+        first_dev = i;
+      }
+    }
+    CHECK(first_dev < jobs.size());  // this fixture does trigger backfill
+    CHECK(easy.jobs()[first_dev].start_time <
+          plain.jobs()[first_dev].start_time);
+  }
+
+  std::puts("EASY backfill invariant: OK");
+  return 0;
+}

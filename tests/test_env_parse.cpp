@@ -1,0 +1,59 @@
+// Environment-variable parsing must be validated: garbage falls back to the
+// default, out-of-range values clamp, and good values parse exactly.
+#include <cstdlib>
+
+#include "test_util.hpp"
+#include "util/env.hpp"
+
+namespace {
+void put(const char* name, const char* value) { setenv(name, value, 1); }
+}  // namespace
+
+int main() {
+  using rlsched::util::env_double;
+  using rlsched::util::env_long;
+  using rlsched::util::env_string;
+
+  // Unset -> default.
+  unsetenv("RLSCHED_TEST_VAR");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == 42);
+  CHECK(env_string("RLSCHED_TEST_VAR", "dflt") == "dflt");
+
+  // Clean parses.
+  put("RLSCHED_TEST_VAR", "17");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == 17);
+  put("RLSCHED_TEST_VAR", "-3");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == -3);
+
+  // Garbage must fall back to the default, not be consumed partially
+  // (the classic "1O" typo) or as UB.
+  put("RLSCHED_TEST_VAR", "1O");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == 42);
+  put("RLSCHED_TEST_VAR", "abc");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == 42);
+  put("RLSCHED_TEST_VAR", "12.5");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == 42);
+  put("RLSCHED_TEST_VAR", "");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == 42);
+  put("RLSCHED_TEST_VAR", "99999999999999999999999999");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42) == 42);
+
+  // Clamping: a size_t-destined knob must never go negative.
+  put("RLSCHED_TEST_VAR", "-7");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42, 0) == 0);
+  put("RLSCHED_TEST_VAR", "1000000");
+  CHECK(env_long("RLSCHED_TEST_VAR", 42, 0, 100) == 100);
+
+  // Doubles follow the same contract.
+  put("RLSCHED_TEST_VAR", "2.75");
+  CHECK_NEAR(env_double("RLSCHED_TEST_VAR", 1.0), 2.75, 1e-12);
+  put("RLSCHED_TEST_VAR", "nope");
+  CHECK_NEAR(env_double("RLSCHED_TEST_VAR", 1.0), 1.0, 1e-12);
+
+  // Strings pass through untouched.
+  put("RLSCHED_TEST_VAR", "model_dir/x");
+  CHECK(env_string("RLSCHED_TEST_VAR", "dflt") == "model_dir/x");
+
+  std::puts("env parsing: OK");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// SWF export -> import must preserve every field the scheduler consumes,
+// plus the cluster size header.
+#include <cstdio>
+#include <string>
+
+#include "test_util.hpp"
+#include "trace/trace.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace rlsched;
+  const auto original = workload::make_trace("HPC2N", 2000, 7);
+  const std::string path = "test_roundtrip.swf";
+  original.save_swf(path);
+  const auto reloaded = trace::Trace::load_swf(path, "HPC2N");
+  std::remove(path.c_str());
+
+  CHECK(reloaded.size() == original.size());
+  CHECK(reloaded.processors() == original.processors());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const trace::Job& a = original[i];
+    const trace::Job& b = reloaded[i];
+    CHECK(a.id == b.id);
+    CHECK_NEAR(a.submit_time, b.submit_time, 1e-3);
+    CHECK_NEAR(a.run_time, b.run_time, 1e-3);
+    CHECK_NEAR(a.requested_time, b.requested_time, 1e-3);
+    CHECK(a.requested_procs == b.requested_procs);
+    CHECK(a.user == b.user);
+  }
+
+  // Characteristics survive the round trip too.
+  const auto ca = original.characteristics();
+  const auto cb = reloaded.characteristics();
+  CHECK_NEAR(ca.mean_interarrival, cb.mean_interarrival, 1e-3);
+  CHECK(ca.distinct_users == cb.distinct_users);
+
+  std::puts("swf roundtrip: OK");
+  return 0;
+}

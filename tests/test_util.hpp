@@ -1,0 +1,30 @@
+#pragma once
+// Assertion macros for the tier-1 tests. Independent of NDEBUG (Release
+// builds define it), so checks always fire.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::exit(1);                                                       \
+    }                                                                     \
+  } while (0)
+
+#define CHECK_NEAR(a, b, eps)                                             \
+  do {                                                                    \
+    const double check_a = (a);                                           \
+    const double check_b = (b);                                           \
+    if (!(std::fabs(check_a - check_b) <= (eps))) {                       \
+      std::fprintf(stderr,                                                \
+                   "CHECK_NEAR failed at %s:%d: %s = %.12g vs %s = %.12g" \
+                   " (eps %.3g)\n",                                       \
+                   __FILE__, __LINE__, #a, check_a, #b, check_b,          \
+                   static_cast<double>(eps));                             \
+      std::exit(1);                                                       \
+    }                                                                     \
+  } while (0)

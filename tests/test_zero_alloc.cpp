@@ -1,0 +1,90 @@
+// The acceptance gate for the simulator hot path: after reset(), a full
+// episode via step()/run_priority() — and the RL decision path
+// (ObservationBuilder + kernel policy + masked argmax) — must perform ZERO
+// heap allocation. Verified with counting global operator new/delete.
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+static unsigned long long g_allocs = 0;
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include "nn/ops.hpp"
+#include "rl/observation.hpp"
+#include "rl/policy.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/env.hpp"
+#include "test_util.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace rlsched;
+  const auto trace = workload::make_trace("SDSC-SP2", 3000, 42);
+  util::Rng rng(1);
+  const auto seq = trace.sequence(0, 512);
+  const auto sjf = sched::sjf_priority();
+
+  // --- heuristic episode, with backfilling (the allocation-heavier path) ---
+  {
+    sim::SchedulingEnv env(trace.processors(), {.backfill = true});
+    env.reset(seq);
+    const unsigned long long before = g_allocs;
+    const auto result = env.run_priority(sjf);
+    const unsigned long long after = g_allocs;
+    CHECK(result.jobs == seq.size());
+    if (after != before) {
+      std::fprintf(stderr, "run_priority allocated %llu times\n",
+                   after - before);
+      return 1;
+    }
+  }
+
+  // --- step() driven episode ---
+  {
+    sim::SchedulingEnv env(trace.processors());
+    env.reset(seq);
+    const unsigned long long before = g_allocs;
+    while (!env.done()) env.step(0);
+    const unsigned long long after = g_allocs;
+    CHECK(after == before);
+  }
+
+  // --- RL decision loop: observation build + kernel logits + argmax ---
+  {
+    const auto policy = rl::make_policy(rl::PolicyKind::Kernel,
+                                        rl::kMaxObservable, rng);
+    const rl::ObservationBuilder builder;
+    sim::SchedulingEnv env(trace.processors(), {.backfill = true});
+    env.reset(seq);
+    const unsigned long long before = g_allocs;
+    while (!env.done()) {
+      const auto obs = builder.build(env);
+      const auto logits = policy->logits(obs);
+      env.step(nn::argmax_masked(logits.data(), obs.mask.data(),
+                                 rl::kMaxObservable));
+    }
+    const unsigned long long after = g_allocs;
+    if (after != before) {
+      std::fprintf(stderr, "RL decision loop allocated %llu times\n",
+                   after - before);
+      return 1;
+    }
+  }
+
+  std::puts("zero-allocation hot path: OK");
+  return 0;
+}
