@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/rlscheduler.cpp" "CMakeFiles/rlsched.dir/src/core/rlscheduler.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/core/rlscheduler.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/rlsched.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/nn/mlp.cpp.o.d"
+  "/root/repo/src/rl/filter.cpp" "CMakeFiles/rlsched.dir/src/rl/filter.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/rl/filter.cpp.o.d"
+  "/root/repo/src/rl/observation.cpp" "CMakeFiles/rlsched.dir/src/rl/observation.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/rl/observation.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "CMakeFiles/rlsched.dir/src/rl/policy.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/rl/policy.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "CMakeFiles/rlsched.dir/src/rl/ppo.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/rl/ppo.cpp.o.d"
+  "/root/repo/src/sched/heuristics.cpp" "CMakeFiles/rlsched.dir/src/sched/heuristics.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/sched/heuristics.cpp.o.d"
+  "/root/repo/src/sim/env.cpp" "CMakeFiles/rlsched.dir/src/sim/env.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/sim/env.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/rlsched.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "CMakeFiles/rlsched.dir/src/util/env.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/util/env.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/rlsched.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/rlsched.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "CMakeFiles/rlsched.dir/src/workload/synthetic.cpp.o" "gcc" "CMakeFiles/rlsched.dir/src/workload/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlsched.dir/src/core/rlscheduler.cpp.o"
+  "CMakeFiles/rlsched.dir/src/core/rlscheduler.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/nn/mlp.cpp.o"
+  "CMakeFiles/rlsched.dir/src/nn/mlp.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/rl/filter.cpp.o"
+  "CMakeFiles/rlsched.dir/src/rl/filter.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/rl/observation.cpp.o"
+  "CMakeFiles/rlsched.dir/src/rl/observation.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/rl/policy.cpp.o"
+  "CMakeFiles/rlsched.dir/src/rl/policy.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/rl/ppo.cpp.o"
+  "CMakeFiles/rlsched.dir/src/rl/ppo.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/sched/heuristics.cpp.o"
+  "CMakeFiles/rlsched.dir/src/sched/heuristics.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/sim/env.cpp.o"
+  "CMakeFiles/rlsched.dir/src/sim/env.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/trace/trace.cpp.o"
+  "CMakeFiles/rlsched.dir/src/trace/trace.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/util/env.cpp.o"
+  "CMakeFiles/rlsched.dir/src/util/env.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/util/stats.cpp.o"
+  "CMakeFiles/rlsched.dir/src/util/stats.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/util/table.cpp.o"
+  "CMakeFiles/rlsched.dir/src/util/table.cpp.o.d"
+  "CMakeFiles/rlsched.dir/src/workload/synthetic.cpp.o"
+  "CMakeFiles/rlsched.dir/src/workload/synthetic.cpp.o.d"
+  "librlsched.a"
+  "librlsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_slowdown.dir/bench_appendix_slowdown.cpp.o"
+  "CMakeFiles/bench_appendix_slowdown.dir/bench_appendix_slowdown.cpp.o.d"
+  "bench_appendix_slowdown"
+  "bench_appendix_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

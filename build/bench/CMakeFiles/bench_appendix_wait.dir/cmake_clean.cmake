@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_wait.dir/bench_appendix_wait.cpp.o"
+  "CMakeFiles/bench_appendix_wait.dir/bench_appendix_wait.cpp.o.d"
+  "bench_appendix_wait"
+  "bench_appendix_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_train_bsld.dir/bench_fig10_train_bsld.cpp.o"
+  "CMakeFiles/bench_fig10_train_bsld.dir/bench_fig10_train_bsld.cpp.o.d"
+  "bench_fig10_train_bsld"
+  "bench_fig10_train_bsld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_train_bsld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_train_bsld.
+# This may be replaced when dependencies are built.

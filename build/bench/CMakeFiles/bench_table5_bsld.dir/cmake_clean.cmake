@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_bsld.dir/bench_table5_bsld.cpp.o"
+  "CMakeFiles/bench_table5_bsld.dir/bench_table5_bsld.cpp.o.d"
+  "bench_table5_bsld"
+  "bench_table5_bsld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_bsld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_util.dir/bench_table6_util.cpp.o"
+  "CMakeFiles/bench_table6_util.dir/bench_table6_util.cpp.o.d"
+  "bench_table6_util"
+  "bench_table6_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

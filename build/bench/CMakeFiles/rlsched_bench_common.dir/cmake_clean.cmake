@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlsched_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/rlsched_bench_common.dir/bench_common.cpp.o.d"
+  "librlsched_bench_common.a"
+  "librlsched_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlsched_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlsched_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swf_pipeline.dir/swf_pipeline.cpp.o"
+  "CMakeFiles/swf_pipeline.dir/swf_pipeline.cpp.o.d"
+  "swf_pipeline"
+  "swf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_transfer.dir/train_and_transfer.cpp.o"
+  "CMakeFiles/train_and_transfer.dir/train_and_transfer.cpp.o.d"
+  "train_and_transfer"
+  "train_and_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backfill_easy.dir/test_backfill_easy.cpp.o"
+  "CMakeFiles/test_backfill_easy.dir/test_backfill_easy.cpp.o.d"
+  "test_backfill_easy"
+  "test_backfill_easy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backfill_easy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_parse.dir/test_env_parse.cpp.o"
+  "CMakeFiles/test_env_parse.dir/test_env_parse.cpp.o.d"
+  "test_env_parse"
+  "test_env_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masked_ops.dir/test_masked_ops.cpp.o"
+  "CMakeFiles/test_masked_ops.dir/test_masked_ops.cpp.o.d"
+  "test_masked_ops"
+  "test_masked_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masked_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

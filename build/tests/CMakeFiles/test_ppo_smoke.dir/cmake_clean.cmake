@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppo_smoke.dir/test_ppo_smoke.cpp.o"
+  "CMakeFiles/test_ppo_smoke.dir/test_ppo_smoke.cpp.o.d"
+  "test_ppo_smoke"
+  "test_ppo_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppo_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swf_roundtrip.dir/test_swf_roundtrip.cpp.o"
+  "CMakeFiles/test_swf_roundtrip.dir/test_swf_roundtrip.cpp.o.d"
+  "test_swf_roundtrip"
+  "test_swf_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swf_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

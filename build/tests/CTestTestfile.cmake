@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_swf_roundtrip "/root/repo/build/tests/test_swf_roundtrip")
+set_tests_properties(test_swf_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_metrics "/root/repo/build/tests/test_metrics")
+set_tests_properties(test_metrics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_backfill_easy "/root/repo/build/tests/test_backfill_easy")
+set_tests_properties(test_backfill_easy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_masked_ops "/root/repo/build/tests/test_masked_ops")
+set_tests_properties(test_masked_ops PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gradcheck "/root/repo/build/tests/test_gradcheck")
+set_tests_properties(test_gradcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ppo_smoke "/root/repo/build/tests/test_ppo_smoke")
+set_tests_properties(test_ppo_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_zero_alloc "/root/repo/build/tests/test_zero_alloc")
+set_tests_properties(test_zero_alloc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_env_parse "/root/repo/build/tests/test_env_parse")
+set_tests_properties(test_env_parse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
