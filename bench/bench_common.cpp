@@ -30,6 +30,7 @@ Scale bench_scale() {
       util::env_long("RLSCHED_BENCH_EVAL_LEN", 512, 1));
   s.seed = static_cast<std::uint64_t>(
       util::env_long("RLSCHED_BENCH_SEED", 42, 0));
+  s.workers = util::env_workers("RLSCHED_WORKERS", 1);
   s.model_dir = util::env_string("RLSCHED_MODEL_DIR", "rlsched_models");
   return s;
 }
@@ -48,6 +49,10 @@ core::RLSchedulerConfig scheduler_config(sim::Metric metric,
   cfg.v_iters = scale.pi_iters;
   cfg.minibatch = scale.minibatch;
   cfg.seed = scale.seed;
+  // Deliberately NOT part of the model cache key: collection and update are
+  // bitwise worker-count independent, so the trained model is the same file
+  // whether 1 or 16 workers produced it.
+  cfg.n_workers = scale.workers;
   return cfg;
 }
 

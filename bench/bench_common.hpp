@@ -15,6 +15,10 @@
 //   RLSCHED_BENCH_EVAL_SEQS  evaluation sequences per cell      (default 5)
 //   RLSCHED_BENCH_EVAL_LEN   jobs per evaluation sequence       (default 512)
 //   RLSCHED_BENCH_SEED       master seed                        (default 42)
+//   RLSCHED_WORKERS          rollout/update threads             (default 1;
+//                            clamped to hardware concurrency — training
+//                            results are bitwise identical for every
+//                            worker count, only wall clock changes)
 //   RLSCHED_MODEL_DIR        trained-model cache directory
 //                            (default ./rlsched_models)
 //
@@ -43,6 +47,7 @@ struct Scale {
   std::size_t eval_seqs;
   std::size_t eval_len;
   std::uint64_t seed;
+  std::size_t workers;
   std::string model_dir;
 };
 

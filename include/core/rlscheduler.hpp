@@ -27,6 +27,9 @@ struct RLSchedulerConfig {
   std::size_t v_iters = 10;
   std::size_t minibatch = 512;  ///< 0 = full batch
   std::uint64_t seed = 42;
+  /// Rollout-collection / update threads (see RLSCHED_WORKERS). Trained
+  /// models are bitwise identical for every worker count; 0 acts as 1.
+  std::size_t n_workers = 1;
 };
 
 class RLScheduler {

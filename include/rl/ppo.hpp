@@ -4,6 +4,22 @@
 // separate value network. Trajectory and gradient buffers are allocated
 // once at construction and reused across epochs — the steady-state training
 // loop performs no heap allocation.
+//
+// Parallelism (n_workers > 1): the two per-epoch costs are both fanned out
+// over a reusable thread pool, and both are constructed to be bitwise
+// worker-count independent — the same seed produces the same trajectories,
+// advantages, and updated parameters whether 1 or K workers ran:
+//
+//  * rollout collection — embarrassingly parallel. Each pool worker owns a
+//    SchedulingEnv, a policy clone (for its activation scratch), a value-net
+//    scratch, and a sequence buffer; each TRAJECTORY owns a counter-based
+//    RNG substream keyed by (seed, trajectory index), and lands in its own
+//    RolloutBuffer slot. The merge walks slots in index order.
+//  * minibatch gradient accumulation — each minibatch is cut into fixed
+//    64-sample chunks; workers accumulate into per-CHUNK gradient scratch,
+//    and the reduction sums chunks in chunk order. Chunk boundaries depend
+//    only on the batch, never on the worker count, so float summation order
+//    is reproducible.
 
 #include <cstdint>
 #include <memory>
@@ -16,9 +32,11 @@
 #include "rl/filter.hpp"
 #include "rl/observation.hpp"
 #include "rl/policy.hpp"
+#include "rl/rollout.hpp"
 #include "sim/env.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/synthetic.hpp"
 
 namespace rlsched::rl {
@@ -38,6 +56,9 @@ struct PPOConfig {
   std::size_t minibatch = 512;
   std::uint64_t seed = 42;
   bool backfill = false;  ///< backfilling during training rollouts
+  /// Rollout/update threads (RLSCHED_WORKERS). Results are bitwise
+  /// identical for every value; 0 is treated as 1.
+  std::size_t n_workers = 1;
 
   float pi_lr = 3e-4f;
   float v_lr = 1e-3f;
@@ -51,6 +72,8 @@ struct EpochStats {
   std::size_t epoch = 0;
   double avg_metric = 0.0;  ///< cfg.metric averaged over the epoch's rollouts
   double seconds = 0.0;
+  double collect_seconds = 0.0;  ///< rollout-collection share of `seconds`
+  double update_seconds = 0.0;   ///< policy+value-update share of `seconds`
 };
 
 struct TrainHistory {
@@ -60,6 +83,7 @@ struct TrainHistory {
 class PPOTrainer {
  public:
   PPOTrainer(const trace::Trace& trace, PPOConfig cfg);
+  ~PPOTrainer();
 
   /// Collect trajectories_per_epoch rollouts and run the PPO update.
   EpochStats train_epoch();
@@ -72,12 +96,38 @@ class PPOTrainer {
   const Policy& policy() const { return *policy_; }
   Policy& policy() { return *policy_; }
   const PPOConfig& config() const { return cfg_; }
+  std::size_t worker_count() const { return pool_.workers(); }
+
+  // Read-only views of the most recent epoch's merged buffers (determinism
+  // tests and the scaling bench compare these across worker counts).
+  std::size_t steps() const { return steps_; }
+  const Observation& observation(std::size_t i) const { return *obs_ptr_[i]; }
+  const std::vector<std::uint32_t>& actions() const { return act_buf_; }
+  const std::vector<float>& logps() const { return logp_buf_; }
+  const std::vector<float>& values() const { return val_buf_; }
+  const std::vector<float>& advantages() const { return adv_buf_; }
+  const std::vector<float>& returns() const { return ret_buf_; }
+  const std::vector<float>& terminal_rewards() const { return traj_reward_; }
+  const std::vector<std::size_t>& trajectory_ends() const { return traj_end_; }
+  const std::vector<float>& value_params() const { return value_params_; }
 
   void save(const std::string& path) const;
   void load(const std::string& path);
 
  private:
+  /// Per-worker mutable state. Policies and the value net keep activation
+  /// scratch inside, so each worker gets its own instances; parameters are
+  /// synced from the canonical copies before each fan-out.
+  struct Worker;
+
+  /// Minibatch chunk width for parallel gradient accumulation. Fixed (not
+  /// derived from the worker count) so the reduction order — and therefore
+  /// the trained parameters — never depend on how many threads ran.
+  static constexpr std::size_t kGradChunk = 64;
+
   void collect_trajectories();
+  void collect_one(std::size_t traj, std::uint64_t round, Worker& w);
+  void sync_worker_policies();
   void reset_perm();
   void compute_advantages();
   void update_policy();
@@ -87,7 +137,6 @@ class PPOTrainer {
   trace::Trace trace_;
   PPOConfig cfg_;
   util::Rng rng_;
-  sim::SchedulingEnv env_;
   ObservationBuilder builder_;
 
   std::unique_ptr<Policy> policy_;
@@ -95,16 +144,23 @@ class PPOTrainer {
   std::vector<float> value_params_;
   nn::Adam pi_opt_, v_opt_;
 
-  // trajectory buffers, capacity trajectories_per_epoch * seq_len
-  std::vector<Observation> obs_buf_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  util::ThreadPool pool_;
+
+  // per-trajectory collection slots + merged per-epoch views
+  std::vector<RolloutBuffer> slots_;
+  std::vector<const Observation*> obs_ptr_;  ///< slot storage, merged order
   std::vector<std::uint32_t> act_buf_;
   std::vector<float> logp_buf_, val_buf_, adv_buf_, ret_buf_;
   std::vector<std::size_t> traj_end_;  ///< exclusive end index per rollout
   std::vector<float> traj_reward_;     ///< terminal reward per rollout
   std::size_t steps_ = 0;
+  std::uint64_t collect_round_ = 0;  ///< feeds the per-trajectory substreams
 
   // update scratch
-  std::vector<float> pi_grad_, v_grad_, probs_;
+  std::vector<float> pi_grad_, v_grad_;
+  std::vector<std::vector<float>> chunk_grad_;  ///< one slab per chunk
+  std::vector<double> chunk_kl_;
   std::vector<std::uint32_t> perm_;
 
   FilterRange filter_range_;

@@ -1,0 +1,43 @@
+#pragma once
+// Per-trajectory rollout storage. Each trajectory of an epoch gets its own
+// slot, written by whichever pool worker collected it; the trainer then
+// merges slots in trajectory-index order, so the flattened epoch buffer is
+// identical no matter how many workers ran or how they interleaved.
+// Capacity is reserved once (a trajectory makes at most seq_len decisions);
+// clear() keeps it, so steady-state collection performs no heap allocation.
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/observation.hpp"
+
+namespace rlsched::rl {
+
+struct RolloutBuffer {
+  std::vector<Observation> obs;
+  std::vector<std::uint32_t> act;
+  std::vector<float> logp;
+  std::vector<float> val;
+  float reward = 0.0f;  ///< terminal reward (normalized per epoch later)
+  double metric = 0.0;  ///< cfg.metric of the finished rollout
+
+  void reserve(std::size_t steps) {
+    obs.reserve(steps);
+    act.reserve(steps);
+    logp.reserve(steps);
+    val.reserve(steps);
+  }
+
+  void clear() {
+    obs.clear();
+    act.clear();
+    logp.clear();
+    val.clear();
+    reward = 0.0f;
+    metric = 0.0;
+  }
+
+  std::size_t size() const { return act.size(); }
+};
+
+}  // namespace rlsched::rl

@@ -12,7 +12,15 @@
 //    is incremental at job start — results are O(users) to read, not O(n);
 //  * after reset() every container stays within reserved capacity: the
 //    step()/run_priority() loop performs ZERO heap allocation (enforced by
-//    tests/test_zero_alloc.cpp with a counting global operator new).
+//    tests/test_zero_alloc.cpp with a counting global operator new), and
+//    reset() itself reuses capacity across same-length episodes, so a
+//    long-lived env re-reset per episode stops allocating after warmup.
+//
+// Threading contract: a SchedulingEnv is NOT internally synchronized —
+// every method (including the const ones, which read mutable-free state)
+// must be called from one thread at a time. Parallel rollout collection
+// therefore gives each pool worker its OWN env instance; distinct envs
+// share nothing and may run fully concurrently.
 
 #include <cstdint>
 #include <functional>

@@ -62,8 +62,19 @@ class Trace {
   /// at t=0 and with schedule state cleared. Out-of-range is clamped.
   std::vector<Job> sequence(std::size_t start, std::size_t len) const;
 
+  /// Like sequence(), but written into `out` — reuses its capacity, so a
+  /// caller with a warmed scratch vector (each rollout worker keeps one)
+  /// performs no heap allocation.
+  void sequence_into(std::size_t start, std::size_t len,
+                     std::vector<Job>& out) const;
+
   /// Random contiguous `len`-job slice (the paper's evaluation protocol).
   std::vector<Job> sample_sequence(util::Rng& rng, std::size_t len) const;
+
+  /// sample_sequence() into a reused scratch vector; consumes exactly the
+  /// same rng draws, so the two variants pick identical slices.
+  void sample_sequence_into(util::Rng& rng, std::size_t len,
+                            std::vector<Job>& out) const;
 
   Characteristics characteristics() const;
 

@@ -25,4 +25,12 @@ double env_double(const char* name, double fallback,
 /// String variable; `fallback` when unset or empty.
 std::string env_string(const char* name, const std::string& fallback);
 
+/// Parse `name` as a worker/thread count (RLSCHED_WORKERS). Unset or empty
+/// returns `fallback`; garbage, zero, or negative values are REJECTED back
+/// to `fallback` with a warning (a thread count of 0 is never meaningful);
+/// values above the host's hardware concurrency clamp down to it (when the
+/// runtime can report it), so an over-eager RLSCHED_WORKERS=256 cannot
+/// oversubscribe a laptop.
+std::size_t env_workers(const char* name, std::size_t fallback = 1);
+
 }  // namespace rlsched::util

@@ -15,6 +15,25 @@ class Rng {
     next_u64();
   }
 
+  /// splitmix64 finalizer: a bijective 64-bit mix, usable as a standalone
+  /// hash for deriving seeds.
+  static std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Counter-based substream derivation: (seed, stream) names one
+  /// independent deterministic stream. Parallel rollout collection gives
+  /// every trajectory its own stream keyed by the trajectory INDEX, so the
+  /// generated randomness depends only on (seed, index) — never on which
+  /// worker thread ran it or on how many workers exist. Distinct streams of
+  /// the same seed stay decorrelated through the double mix.
+  static Rng substream(std::uint64_t seed, std::uint64_t stream) {
+    return Rng(mix64(mix64(seed ^ 0x6A09E667F3BCC909ULL) +
+                     stream * 0x9E3779B97F4A7C15ULL));
+  }
+
   std::uint64_t next_u64() {
     std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;

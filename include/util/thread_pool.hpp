@@ -1,0 +1,145 @@
+#pragma once
+// Reusable fixed-size thread pool for index-based fan-out. Built for the
+// PPO training loop's constraints:
+//
+//  * zero heap allocation per dispatch — tasks are a raw function pointer
+//    plus a context pointer (the templated wrapper passes the address of a
+//    stack lambda through a captureless trampoline), so the steady-state
+//    training loop stays allocation-free even with the pool engaged;
+//  * the calling thread participates as worker 0 — a 1-worker pool spawns
+//    no threads at all and runs everything inline, which keeps single-
+//    threaded runs trivially debuggable and byte-identical in behavior;
+//  * work is handed out by an atomic index counter, so the assignment of
+//    indices to threads is dynamic (load-balanced) while the caller decides
+//    determinism by keying all per-index state off the INDEX, not the
+//    worker id.
+//
+// parallel_for blocks until every index has been processed; helper writes
+// are visible to the caller afterwards (the completion handshake goes
+// through the pool mutex, which establishes the happens-before edge).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rlsched::util {
+
+class ThreadPool {
+ public:
+  /// Task invoked as task(ctx, index, worker) with index in [0, n) and
+  /// worker in [0, workers()). The same worker id is never active twice
+  /// concurrently, so per-worker scratch needs no further locking.
+  using Task = void (*)(void* ctx, std::size_t index, std::size_t worker);
+
+  explicit ThreadPool(std::size_t workers) {
+    if (workers == 0) workers = 1;
+    helpers_.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      helpers_.emplace_back([this, w] { helper_loop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : helpers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return helpers_.size() + 1; }
+
+  /// Run task for every index in [0, n); returns when all are done.
+  void parallel_for(std::size_t n, Task task, void* ctx) {
+    if (n == 0) return;
+    if (helpers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) task(ctx, i, 0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = task;
+      ctx_ = ctx;
+      total_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      pending_helpers_ = helpers_.size();
+      ++round_;
+    }
+    start_cv_.notify_all();
+    drain(task, ctx, n, /*worker=*/0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_helpers_ == 0; });
+    task_ = nullptr;
+    ctx_ = nullptr;
+  }
+
+  /// fn(index, worker) for every index in [0, n). `fn` stays on the
+  /// caller's stack — no std::function, no allocation.
+  template <typename Fn>
+  void for_each_index(std::size_t n, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    parallel_for(
+        n,
+        [](void* ctx, std::size_t i, std::size_t w) {
+          (*static_cast<F*>(ctx))(i, w);
+        },
+        static_cast<void*>(std::addressof(fn)));
+  }
+
+ private:
+  void drain(Task task, void* ctx, std::size_t total, std::size_t worker) {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      task(ctx, i, worker);
+    }
+  }
+
+  void helper_loop(std::size_t worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Task task = nullptr;
+      void* ctx = nullptr;
+      std::size_t total = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+        if (stop_) return;
+        seen = round_;
+        task = task_;
+        ctx = ctx_;
+        total = total_;
+      }
+      drain(task, ctx, total, worker);
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        last = --pending_helpers_ == 0;
+      }
+      if (last) done_cv_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> helpers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_, done_cv_;
+  Task task_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t total_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t pending_helpers_ = 0;  ///< helpers yet to finish this round
+  std::uint64_t round_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rlsched::util

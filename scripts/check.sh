@@ -1,32 +1,101 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (configure + build + ctest) plus the Table IX cost
-# benchmark as a compile-and-run smoke test of the perf-critical path.
+# CI gate, identical locally and hosted: tier-1 verify (configure + build +
+# ctest) plus the Table IX cost benchmark as a compile-and-run smoke test of
+# the perf-critical path.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [--sanitize[=LIST]] [build-dir]
+#
+#   --sanitize            shorthand for --sanitize=address,undefined
+#   --sanitize=LIST       instrument with -fsanitize=LIST; LIST=thread runs
+#                         only the threaded tests (PPO smoke + parallel
+#                         rollout), matching the hosted TSan job
+#   build-dir             defaults to ./build (or ./build-<sanitizers>)
+#
+# Honors CMAKE_BUILD_TYPE from the environment (the CI matrix sets it);
+# otherwise the project default (Release) applies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
-
-echo "== configure =="
-cmake -B "$BUILD_DIR" -S .
-
-echo "== build =="
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-
-echo "== ctest =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
-
-echo "== Table IX cost smoke (decision latency must stay flat) =="
-if [ -x "$BUILD_DIR/bench/bench_table9_cost" ]; then
-  # Keep the smoke cheap: short measurement time, skip the training-epoch
-  # benchmark (it alone dominates wall clock and is exercised by ctest's
-  # PPO smoke test anyway).
-  "$BUILD_DIR/bench/bench_table9_cost" \
-    --benchmark_min_time=0.01 \
-    --benchmark_filter='BM_SjfSortAndPick|BM_RlDecision|BM_PolicyParameterCount'
+# --- fail-fast coloring: every step is announced, the first failing step is
+# --- named in red, and a clean run ends in green. Colors only on a tty
+# --- (or when FORCE_COLOR is set) so logs stay clean.
+if [ -t 1 ] || [ -n "${FORCE_COLOR:-}" ]; then
+  RED=$'\033[1;31m' GREEN=$'\033[1;32m' BLUE=$'\033[1;34m' RESET=$'\033[0m'
 else
-  echo "bench_table9_cost not built (google-benchmark missing) - skipped"
+  RED="" GREEN="" BLUE="" RESET=""
+fi
+CURRENT_STEP="startup"
+step() {
+  CURRENT_STEP="$*"
+  printf '%s== %s ==%s\n' "$BLUE" "$*" "$RESET"
+}
+trap 'printf "%sFAILED during: %s%s\n" "$RED" "$CURRENT_STEP" "$RESET" >&2' ERR
+
+SANITIZE=""
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE="address,undefined" ;;
+    --sanitize=*) SANITIZE="${arg#--sanitize=}" ;;
+    -h|--help)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    -*)
+      # A typo like --sanitise must not silently become an UNsanitized
+      # build directory that then passes green.
+      printf '%sunknown option: %s%s\n' "$RED" "$arg" "$RESET" >&2
+      exit 2
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+if [ -z "$BUILD_DIR" ]; then
+  if [ -n "$SANITIZE" ]; then
+    BUILD_DIR="build-${SANITIZE//,/-}"
+  else
+    BUILD_DIR="build"
+  fi
 fi
 
-echo "== all checks passed =="
+CMAKE_ARGS=(-DRLSCHED_SANITIZE="$SANITIZE")
+if [ -n "${CMAKE_BUILD_TYPE:-}" ]; then
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$CMAKE_BUILD_TYPE")
+fi
+
+# Make any sanitizer finding fatal so ctest actually fails the pipeline.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+step "configure ($BUILD_DIR${SANITIZE:+, sanitize=$SANITIZE})"
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+
+step "build"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+step "ctest"
+if [ "$SANITIZE" = "thread" ]; then
+  # TSan job: only the tests that exercise the thread pool — the rest are
+  # single-threaded and already covered by the other jobs.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R 'test_ppo_smoke|test_parallel_rollout'
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi
+
+if [ -z "$SANITIZE" ]; then
+  step "Table IX cost smoke (decision latency must stay flat)"
+  if [ -x "$BUILD_DIR/bench/bench_table9_cost" ]; then
+    # Keep the smoke cheap: short measurement time, skip the training-epoch
+    # benchmark (it alone dominates wall clock and is exercised by ctest's
+    # PPO smoke test anyway).
+    "$BUILD_DIR/bench/bench_table9_cost" \
+      --benchmark_min_time=0.01 \
+      --benchmark_filter='BM_SjfSortAndPick|BM_RlDecision|BM_PolicyParameterCount'
+  else
+    echo "bench_table9_cost not built (google-benchmark missing) - skipped"
+  fi
+fi
+
+printf '%s== all checks passed ==%s\n' "$GREEN" "$RESET"

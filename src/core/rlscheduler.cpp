@@ -15,6 +15,7 @@ rl::PPOConfig to_ppo_config(const RLSchedulerConfig& cfg) {
   p.v_iters = cfg.v_iters;
   p.minibatch = cfg.minibatch;
   p.seed = cfg.seed;
+  p.n_workers = cfg.n_workers;
   return p;
 }
 }  // namespace

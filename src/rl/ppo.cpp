@@ -18,24 +18,59 @@ void write_params(std::ofstream& out, const std::vector<float>& p) {
   }
   if (p.empty()) out << '\n';
 }
+
+std::vector<std::size_t> value_net_sizes() {
+  return {kJobFeatures * kMaxObservable, 32, 32, 1};
+}
 }  // namespace
+
+struct PPOTrainer::Worker {
+  sim::SchedulingEnv env;
+  std::unique_ptr<Policy> policy;  ///< clone: owns activation scratch
+  nn::FlatMlp value_net;           ///< scratch only; params stay shared
+  ObservationBuilder builder;
+  std::vector<float> probs;
+  std::vector<trace::Job> seq;  ///< sequence scratch, reused per rollout
+
+  Worker(int processors, const sim::EnvConfig& env_cfg, PolicyKind kind,
+         std::size_t seq_len)
+      : env(processors, env_cfg), value_net(value_net_sizes()) {
+    // The clone's random init is irrelevant — parameters are overwritten
+    // from the canonical policy before every fan-out.
+    util::Rng init_rng(1);
+    policy = make_policy(kind, kMaxObservable, init_rng);
+    probs.resize(kMaxObservable);
+    seq.reserve(seq_len);
+  }
+};
 
 PPOTrainer::PPOTrainer(const trace::Trace& trace, PPOConfig cfg)
     : trace_(trace),
       cfg_(cfg),
       rng_(cfg.seed * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15ULL),
-      env_(trace.processors(), sim::EnvConfig{cfg.backfill, kMaxObservable}),
       policy_(make_policy(cfg.policy, kMaxObservable, rng_)),
-      value_net_({kJobFeatures * kMaxObservable, 32, 32, 1}),
+      value_net_(value_net_sizes()),
       value_params_(value_net_.param_count()),
       pi_opt_(policy_->parameter_count(), cfg.pi_lr),
-      v_opt_(value_net_.param_count(), cfg.v_lr) {
+      v_opt_(value_net_.param_count(), cfg.v_lr),
+      pool_(cfg.n_workers == 0 ? 1 : cfg.n_workers) {
   if (cfg_.seq_len == 0) cfg_.seq_len = 256;
   if (cfg_.trajectories_per_epoch == 0) cfg_.trajectories_per_epoch = 1;
+  if (cfg_.n_workers == 0) cfg_.n_workers = 1;
   value_net_.init(value_params_.data(), rng_, 1.0f);
 
+  const sim::EnvConfig env_cfg{cfg_.backfill, kMaxObservable};
+  workers_.reserve(cfg_.n_workers);
+  for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(
+        trace.processors(), env_cfg, cfg_.policy, cfg_.seq_len));
+  }
+
+  slots_.resize(cfg_.trajectories_per_epoch);
+  for (RolloutBuffer& s : slots_) s.reserve(cfg_.seq_len);
+
   const std::size_t cap = cfg_.trajectories_per_epoch * cfg_.seq_len;
-  obs_buf_.reserve(cap);
+  obs_ptr_.reserve(cap);
   act_buf_.reserve(cap);
   logp_buf_.reserve(cap);
   val_buf_.reserve(cap);
@@ -45,17 +80,84 @@ PPOTrainer::PPOTrainer(const trace::Trace& trace, PPOConfig cfg)
   traj_reward_.reserve(cfg_.trajectories_per_epoch);
   pi_grad_.resize(policy_->parameter_count());
   v_grad_.resize(value_net_.param_count());
-  probs_.resize(kMaxObservable);
   perm_.reserve(cap);
+
+  // One gradient slab per possible chunk, wide enough for either network
+  // (the policy and value updates never run concurrently).
+  const std::size_t max_chunks = (cap + kGradChunk - 1) / kGradChunk;
+  const std::size_t slab =
+      std::max(policy_->parameter_count(), value_net_.param_count());
+  chunk_grad_.resize(max_chunks);
+  for (std::vector<float>& g : chunk_grad_) g.resize(slab);
+  chunk_kl_.resize(max_chunks);
 }
+
+PPOTrainer::~PPOTrainer() = default;
 
 double PPOTrainer::reward_of(const sim::RunResult& r) const {
   if (!cfg_.composite.empty()) return cfg_.composite.reward(r);
   return sim::reward_sign(cfg_.metric) * r.value(cfg_.metric);
 }
 
+void PPOTrainer::sync_worker_policies() {
+  for (const std::unique_ptr<Worker>& w : workers_) {
+    // Same-size vector copy-assign: no allocation.
+    w->policy->param_vector() = policy_->param_vector();
+  }
+}
+
+void PPOTrainer::collect_one(std::size_t traj, std::uint64_t round,
+                             Worker& w) {
+  RolloutBuffer& buf = slots_[traj];
+  buf.clear();
+
+  // All randomness of this trajectory comes from a substream keyed by the
+  // trajectory's global index — identical no matter which worker runs it.
+  util::Rng rng = util::Rng::substream(
+      cfg_.seed, round * cfg_.trajectories_per_epoch + traj);
+
+  if (cfg_.trajectory_filtering) {
+    for (std::size_t attempt = 0; attempt < kMaxFilterAttempts; ++attempt) {
+      trace_.sample_sequence_into(rng, cfg_.seq_len, w.seq);
+      if (filter_range_.contains(
+              sjf_metric(w.seq, trace_.processors(), cfg_.metric))) {
+        break;
+      }
+    }
+  } else {
+    trace_.sample_sequence_into(rng, cfg_.seq_len, w.seq);
+  }
+
+  w.env.reset(w.seq);
+  while (!w.env.done()) {
+    const Observation obs = w.builder.build(w.env);
+    const Logits logits = w.policy->logits(obs);
+    nn::softmax_masked(logits.data(), obs.mask.data(), w.probs.data(),
+                       kMaxObservable);
+    // Sample from the masked categorical.
+    double u = rng.uniform();
+    std::size_t a = 0;
+    for (std::size_t i = 0; i < kMaxObservable; ++i) {
+      if (obs.mask[i] == 0) continue;
+      a = i;
+      u -= w.probs[i];
+      if (u <= 0.0) break;
+    }
+    const float v = *w.value_net.forward(value_params_.data(),
+                                         obs.features.data());
+    buf.obs.push_back(obs);
+    buf.act.push_back(static_cast<std::uint32_t>(a));
+    buf.logp.push_back(std::log(std::max(w.probs[a], 1e-10f)));
+    buf.val.push_back(v);
+    w.env.step(a);
+  }
+  const sim::RunResult result = w.env.result();
+  buf.reward = static_cast<float>(reward_of(result));
+  buf.metric = result.value(cfg_.metric);
+}
+
 void PPOTrainer::collect_trajectories() {
-  obs_buf_.clear();
+  obs_ptr_.clear();
   act_buf_.clear();
   logp_buf_.clear();
   val_buf_.clear();
@@ -75,49 +177,29 @@ void PPOTrainer::collect_trajectories() {
     filter_ready_ = true;
   }
 
-  for (std::size_t t = 0; t < cfg_.trajectories_per_epoch; ++t) {
-    std::vector<trace::Job> seq;
-    if (cfg_.trajectory_filtering) {
-      for (std::size_t attempt = 0; attempt < kMaxFilterAttempts; ++attempt) {
-        seq = trace_.sample_sequence(rng_, cfg_.seq_len);
-        if (filter_range_.contains(
-                sjf_metric(seq, trace_.processors(), cfg_.metric))) {
-          break;
-        }
-      }
-    } else {
-      seq = trace_.sample_sequence(rng_, cfg_.seq_len);
-    }
+  sync_worker_policies();
+  const std::uint64_t round = collect_round_++;
+  pool_.for_each_index(
+      cfg_.trajectories_per_epoch,
+      [&](std::size_t t, std::size_t wid) {
+        collect_one(t, round, *workers_[wid]);
+      });
 
-    env_.reset(std::move(seq));
-    while (!env_.done()) {
-      const Observation obs = builder_.build(env_);
-      const Logits logits = policy_->logits(obs);
-      nn::softmax_masked(logits.data(), obs.mask.data(), probs_.data(),
-                         kMaxObservable);
-      // Sample from the masked categorical.
-      double u = rng_.uniform();
-      std::size_t a = 0;
-      for (std::size_t i = 0; i < kMaxObservable; ++i) {
-        if (obs.mask[i] == 0) continue;
-        a = i;
-        u -= probs_[i];
-        if (u <= 0.0) break;
-      }
-      const float v = *value_net_.forward(value_params_.data(),
-                                          obs.features.data());
-      obs_buf_.push_back(obs);
-      act_buf_.push_back(static_cast<std::uint32_t>(a));
-      logp_buf_.push_back(std::log(std::max(probs_[a], 1e-10f)));
-      val_buf_.push_back(v);
-      env_.step(a);
+  // Deterministic merge: flatten slots in trajectory-index order. The small
+  // per-step scalars are copied; observations stay in their slots (they are
+  // ~3 KB each) and are reached through a pointer view.
+  for (const RolloutBuffer& b : slots_) {
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      obs_ptr_.push_back(&b.obs[k]);
+      act_buf_.push_back(b.act[k]);
+      logp_buf_.push_back(b.logp[k]);
+      val_buf_.push_back(b.val[k]);
     }
-    const sim::RunResult result = env_.result();
-    traj_end_.push_back(obs_buf_.size());
-    traj_reward_.push_back(static_cast<float>(reward_of(result)));
-    epoch_metric_sum_ += result.value(cfg_.metric);
+    traj_end_.push_back(obs_ptr_.size());
+    traj_reward_.push_back(b.reward);
+    epoch_metric_sum_ += b.metric;
   }
-  steps_ = obs_buf_.size();
+  steps_ = obs_ptr_.size();
 }
 
 void PPOTrainer::compute_advantages() {
@@ -177,9 +259,9 @@ void PPOTrainer::reset_perm() {
 void PPOTrainer::update_policy() {
   const std::size_t batch =
       cfg_.minibatch == 0 ? steps_ : std::min(cfg_.minibatch, steps_);
+  const std::size_t np = policy_->parameter_count();
   reset_perm();
 
-  Logits dlogits;
   for (std::size_t iter = 0; iter < cfg_.pi_iters; ++iter) {
     // Fisher-Yates shuffle with the trainer's own rng (reproducible).
     for (std::size_t i = steps_; i-- > 1;) {
@@ -190,30 +272,52 @@ void PPOTrainer::update_policy() {
     for (std::size_t start = 0; start < steps_; start += batch) {
       const std::size_t stop = std::min(start + batch, steps_);
       const float inv_batch = 1.0f / static_cast<float>(stop - start);
-      std::fill(pi_grad_.begin(), pi_grad_.end(), 0.0f);
-      for (std::size_t s = start; s < stop; ++s) {
-        const std::size_t i = perm_[s];
-        const Observation& obs = obs_buf_[i];
-        const Logits logits = policy_->logits(obs);
-        nn::softmax_masked(logits.data(), obs.mask.data(), probs_.data(),
-                           kMaxObservable);
-        const std::uint32_t a = act_buf_[i];
-        const float logp_new = std::log(std::max(probs_[a], 1e-10f));
-        const float ratio = std::exp(logp_new - logp_buf_[i]);
-        const float adv = adv_buf_[i];
-        kl_sum += logp_buf_[i] - logp_new;
-        // Clipped surrogate: zero gradient once the ratio leaves the trust
-        // region in the advantage's direction.
-        const bool clipped = (adv >= 0.0f && ratio > 1.0f + cfg_.clip) ||
-                             (adv < 0.0f && ratio < 1.0f - cfg_.clip);
-        if (clipped) continue;
-        const float coef = ratio * adv * inv_batch;
-        for (std::size_t k = 0; k < kMaxObservable; ++k) {
-          // d(-logpi[a])/dlogits = probs - onehot(a), times -coef
-          dlogits[k] = coef * probs_[k];
+      const std::size_t nchunks = (stop - start + kGradChunk - 1) / kGradChunk;
+
+      // Parameters moved in the previous Adam step — refresh the clones.
+      sync_worker_policies();
+      pool_.for_each_index(nchunks, [&](std::size_t ci, std::size_t wid) {
+        Worker& w = *workers_[wid];
+        float* g = chunk_grad_[ci].data();
+        std::fill_n(g, np, 0.0f);
+        double kl = 0.0;
+        Logits dlogits;
+        const std::size_t cb = start + ci * kGradChunk;
+        const std::size_t ce = std::min(cb + kGradChunk, stop);
+        for (std::size_t s = cb; s < ce; ++s) {
+          const std::size_t i = perm_[s];
+          const Observation& obs = *obs_ptr_[i];
+          const Logits logits = w.policy->logits(obs);
+          nn::softmax_masked(logits.data(), obs.mask.data(), w.probs.data(),
+                             kMaxObservable);
+          const std::uint32_t a = act_buf_[i];
+          const float logp_new = std::log(std::max(w.probs[a], 1e-10f));
+          const float ratio = std::exp(logp_new - logp_buf_[i]);
+          const float adv = adv_buf_[i];
+          kl += logp_buf_[i] - logp_new;
+          // Clipped surrogate: zero gradient once the ratio leaves the
+          // trust region in the advantage's direction.
+          const bool clipped = (adv >= 0.0f && ratio > 1.0f + cfg_.clip) ||
+                               (adv < 0.0f && ratio < 1.0f - cfg_.clip);
+          if (clipped) continue;
+          const float coef = ratio * adv * inv_batch;
+          for (std::size_t k = 0; k < kMaxObservable; ++k) {
+            // d(-logpi[a])/dlogits = probs - onehot(a), times -coef
+            dlogits[k] = coef * w.probs[k];
+          }
+          dlogits[a] -= coef;
+          w.policy->backward(obs, dlogits, g);
         }
-        dlogits[a] -= coef;
-        policy_->backward(obs, dlogits, pi_grad_.data());
+        chunk_kl_[ci] = kl;
+      });
+
+      // Reduce in chunk order — float summation order is fixed, so the
+      // result is identical for every worker count.
+      std::fill(pi_grad_.begin(), pi_grad_.end(), 0.0f);
+      for (std::size_t ci = 0; ci < nchunks; ++ci) {
+        const float* g = chunk_grad_[ci].data();
+        for (std::size_t k = 0; k < np; ++k) pi_grad_[k] += g[k];
+        kl_sum += chunk_kl_[ci];
       }
       pi_opt_.step(policy_->param_vector().data(), pi_grad_.data());
     }
@@ -224,8 +328,9 @@ void PPOTrainer::update_policy() {
 void PPOTrainer::update_value() {
   const std::size_t batch =
       cfg_.minibatch == 0 ? steps_ : std::min(cfg_.minibatch, steps_);
+  const std::size_t nv = value_net_.param_count();
   reset_perm();
-  float dout = 0.0f;
+
   for (std::size_t iter = 0; iter < cfg_.v_iters; ++iter) {
     for (std::size_t i = steps_; i-- > 1;) {
       const std::size_t j = static_cast<std::size_t>(rng_.below(i + 1));
@@ -234,15 +339,31 @@ void PPOTrainer::update_value() {
     for (std::size_t start = 0; start < steps_; start += batch) {
       const std::size_t stop = std::min(start + batch, steps_);
       const float inv_batch = 1.0f / static_cast<float>(stop - start);
+      const std::size_t nchunks = (stop - start + kGradChunk - 1) / kGradChunk;
+
+      // value_params_ is read-only during the fan-out (the Adam step below
+      // runs after the pool barrier), so workers share it directly.
+      pool_.for_each_index(nchunks, [&](std::size_t ci, std::size_t wid) {
+        Worker& w = *workers_[wid];
+        float* g = chunk_grad_[ci].data();
+        std::fill_n(g, nv, 0.0f);
+        const std::size_t cb = start + ci * kGradChunk;
+        const std::size_t ce = std::min(cb + kGradChunk, stop);
+        for (std::size_t s = cb; s < ce; ++s) {
+          const std::size_t i = perm_[s];
+          const Observation& obs = *obs_ptr_[i];
+          const float v = *w.value_net.forward(value_params_.data(),
+                                               obs.features.data());
+          const float dout = 2.0f * (v - ret_buf_[i]) * inv_batch;
+          w.value_net.backward(value_params_.data(), obs.features.data(),
+                               &dout, g, nullptr, /*recompute=*/false);
+        }
+      });
+
       std::fill(v_grad_.begin(), v_grad_.end(), 0.0f);
-      for (std::size_t s = start; s < stop; ++s) {
-        const std::size_t i = perm_[s];
-        const float v = *value_net_.forward(value_params_.data(),
-                                            obs_buf_[i].features.data());
-        dout = 2.0f * (v - ret_buf_[i]) * inv_batch;
-        value_net_.backward(value_params_.data(),
-                            obs_buf_[i].features.data(), &dout,
-                            v_grad_.data(), nullptr, /*recompute=*/false);
+      for (std::size_t ci = 0; ci < nchunks; ++ci) {
+        const float* g = chunk_grad_[ci].data();
+        for (std::size_t k = 0; k < nv; ++k) v_grad_[k] += g[k];
       }
       v_opt_.step(value_params_.data(), v_grad_.data());
     }
@@ -252,20 +373,22 @@ void PPOTrainer::update_value() {
 EpochStats PPOTrainer::train_epoch() {
   const auto t0 = std::chrono::steady_clock::now();
   collect_trajectories();
+  const auto t1 = std::chrono::steady_clock::now();
   if (steps_ > 0) {
     compute_advantages();
     update_policy();
     update_value();
   }
+  const auto t2 = std::chrono::steady_clock::now();
   EpochStats stats;
   stats.epoch = epoch_++;
   stats.avg_metric =
       traj_end_.empty()
           ? 0.0
           : epoch_metric_sum_ / static_cast<double>(traj_end_.size());
-  stats.seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+  stats.collect_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.update_seconds = std::chrono::duration<double>(t2 - t1).count();
+  stats.seconds = std::chrono::duration<double>(t2 - t0).count();
   return stats;
 }
 

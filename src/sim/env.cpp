@@ -84,10 +84,15 @@ void SchedulingEnv::reset(std::vector<trace::Job>&& jobs) {
 }
 
 void SchedulingEnv::prepare() {
-  std::stable_sort(jobs_.begin(), jobs_.end(),
-                   [](const trace::Job& a, const trace::Job& b) {
-                     return a.submit_time < b.submit_time;
-                   });
+  const auto by_submit = [](const trace::Job& a, const trace::Job& b) {
+    return a.submit_time < b.submit_time;
+  };
+  // Trace sequences arrive already submit-ordered; only sort (stable_sort
+  // heap-allocates its merge buffer) when a caller hands us raw jobs. This
+  // keeps reset()-per-episode allocation-free for the rollout workers.
+  if (!std::is_sorted(jobs_.begin(), jobs_.end(), by_submit)) {
+    std::stable_sort(jobs_.begin(), jobs_.end(), by_submit);
+  }
   const std::size_t n = jobs_.size();
   pending_.clear();
   pending_.reserve(n);
@@ -107,6 +112,12 @@ void SchedulingEnv::prepare() {
   std::sort(user_ids_.begin(), user_ids_.end());
   user_ids_.erase(std::unique(user_ids_.begin(), user_ids_.end()),
                   user_ids_.end());
+  // Reserve for the worst case (every job a distinct user) so episodes with
+  // MORE users than the last one cannot reallocate: reset()-reuse across
+  // episodes — the per-worker pattern of parallel rollout collection — is
+  // allocation-free once warmed.
+  user_bsld_sum_.reserve(n);
+  user_count_.reserve(n);
   user_bsld_sum_.assign(user_ids_.size(), 0.0);
   user_count_.assign(user_ids_.size(), 0);
 

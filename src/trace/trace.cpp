@@ -87,25 +87,40 @@ void Trace::save_swf(const std::string& path) const {
 }
 
 std::vector<Job> Trace::sequence(std::size_t start, std::size_t len) const {
-  if (jobs_.empty() || len == 0) return {};
+  std::vector<Job> out;
+  sequence_into(start, len, out);
+  return out;
+}
+
+void Trace::sequence_into(std::size_t start, std::size_t len,
+                          std::vector<Job>& out) const {
+  out.clear();
+  if (jobs_.empty() || len == 0) return;
   start = std::min(start, jobs_.size() - 1);
   len = std::min(len, jobs_.size() - start);
-  std::vector<Job> out(jobs_.begin() + static_cast<std::ptrdiff_t>(start),
-                       jobs_.begin() + static_cast<std::ptrdiff_t>(start + len));
+  out.assign(jobs_.begin() + static_cast<std::ptrdiff_t>(start),
+             jobs_.begin() + static_cast<std::ptrdiff_t>(start + len));
   const double base = out.front().submit_time;
   for (Job& j : out) {
     j.submit_time -= base;
     j.reset_schedule_state();
   }
-  return out;
 }
 
 std::vector<Job> Trace::sample_sequence(util::Rng& rng, std::size_t len) const {
-  if (jobs_.empty()) return {};
+  std::vector<Job> out;
+  sample_sequence_into(rng, len, out);
+  return out;
+}
+
+void Trace::sample_sequence_into(util::Rng& rng, std::size_t len,
+                                 std::vector<Job>& out) const {
+  out.clear();
+  if (jobs_.empty()) return;
   len = std::min(len, jobs_.size());
   const std::size_t start =
       static_cast<std::size_t>(rng.below(jobs_.size() - len + 1));
-  return sequence(start, len);
+  sequence_into(start, len, out);
 }
 
 Characteristics Trace::characteristics() const {

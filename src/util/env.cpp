@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 namespace rlsched::util {
 
@@ -75,6 +76,30 @@ double env_double(const char* name, double fallback, double min_value,
 std::string env_string(const char* name, const std::string& fallback) {
   const char* v = raw(name);
   return v != nullptr ? std::string(v) : fallback;
+}
+
+std::size_t env_workers(const char* name, std::size_t fallback) {
+  const char* v = raw(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    warn(name, v, "not a worker count, using default");
+    return fallback;
+  }
+  if (parsed <= 0) {
+    // 0 or negative threads is never meaningful — reject, don't clamp,
+    // so a scripting bug surfaces instead of silently serializing.
+    warn(name, v, "worker count must be >= 1, using default");
+    return fallback;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && static_cast<unsigned long>(parsed) > hw) {
+    warn(name, v, "above hardware concurrency, clamping");
+    return static_cast<std::size_t>(hw);
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 }  // namespace rlsched::util

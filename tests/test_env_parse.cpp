@@ -1,6 +1,8 @@
 // Environment-variable parsing must be validated: garbage falls back to the
 // default, out-of-range values clamp, and good values parse exactly.
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "test_util.hpp"
 #include "util/env.hpp"
@@ -53,6 +55,37 @@ int main() {
   // Strings pass through untouched.
   put("RLSCHED_TEST_VAR", "model_dir/x");
   CHECK(env_string("RLSCHED_TEST_VAR", "dflt") == "model_dir/x");
+
+  // Worker counts (RLSCHED_WORKERS): unset -> fallback.
+  using rlsched::util::env_workers;
+  unsetenv("RLSCHED_TEST_VAR");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 3) == 3);
+
+  // Garbage, zero, and negative are REJECTED back to the fallback — a
+  // thread count of 0 must never be "clamped up" into silently running.
+  put("RLSCHED_TEST_VAR", "0");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 3) == 3);
+  put("RLSCHED_TEST_VAR", "-4");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 3) == 3);
+  put("RLSCHED_TEST_VAR", "abc");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 3) == 3);
+  put("RLSCHED_TEST_VAR", "4x");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 3) == 3);
+  put("RLSCHED_TEST_VAR", "");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 3) == 3);
+
+  // Valid counts parse, but never exceed the host's hardware concurrency
+  // (when the runtime can report it).
+  const std::size_t hw = std::thread::hardware_concurrency();
+  put("RLSCHED_TEST_VAR", "2");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 1) ==
+        (hw > 0 ? std::min<std::size_t>(2, hw) : 2));
+  put("RLSCHED_TEST_VAR", "1000000");
+  if (hw > 0) {
+    CHECK(env_workers("RLSCHED_TEST_VAR", 1) == hw);
+  }
+  put("RLSCHED_TEST_VAR", "1");
+  CHECK(env_workers("RLSCHED_TEST_VAR", 8) == 1);
 
   std::puts("env parsing: OK");
   return 0;
