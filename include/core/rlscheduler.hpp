@@ -53,6 +53,12 @@ class RLScheduler {
   sim::RunResult schedule_on(const std::vector<trace::Job>& seq,
                              int processors, bool backfill) const;
 
+  /// Greedy-schedule a streamed source (archive-scale traces that never
+  /// materialize — see trace::ShardedReader) on its own cluster size.
+  /// Bitwise identical to schedule_on() of the materialized jobs.
+  sim::RunResult schedule_stream(trace::JobSource& source, bool backfill,
+                                 std::size_t chunk_jobs = 4096) const;
+
   void save(const std::string& path) const;
   void load(const std::string& path);
 

@@ -93,6 +93,14 @@ class PPOTrainer {
   sim::RunResult evaluate(const std::vector<trace::Job>& seq, int processors,
                           bool backfill) const;
 
+  /// Greedy rollout over a streamed job source (e.g. trace::ShardedReader):
+  /// the episode is pulled in `chunk_jobs` batches with O(backlog + chunk)
+  /// peak memory and yields bitwise the same schedule as evaluate() on the
+  /// materialized jobs. Rewinds `source` first.
+  sim::RunResult evaluate_stream(trace::JobSource& source, int processors,
+                                 bool backfill,
+                                 std::size_t chunk_jobs = 4096) const;
+
   const Policy& policy() const { return *policy_; }
   Policy& policy() { return *policy_; }
   const PPOConfig& config() const { return cfg_; }

@@ -10,6 +10,12 @@
 //    window handed to policies is a zero-copy span over its prefix;
 //  * all metric accounting (bounded slowdown, utilization, wait, fairness)
 //    is incremental at job start — results are O(users) to read, not O(n);
+//  * ingestion is pluggable: reset() with a materialized vector keeps the
+//    zero-allocation contract below; reset() with a trace::JobSource
+//    streams the episode in chunks with O(backlog + chunk) peak memory and
+//    a schedule bitwise identical to the materialized run (amortized
+//    allocation is accepted there — the buffer grows/compacts with the
+//    backlog, never with the trace);
 //  * after reset() every container stays within reserved capacity: the
 //    step()/run_priority() loop performs ZERO heap allocation (enforced by
 //    tests/test_zero_alloc.cpp with a counting global operator new), and
@@ -29,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "trace/job_source.hpp"
 #include "trace/trace.hpp"
 
 namespace rlsched::sim {
@@ -52,6 +59,19 @@ std::string metric_name(Metric m);
 /// reward_sign(m) * value(m).
 int reward_sign(Metric m);
 
+/// The paper's interactive threshold for bounded slowdown (seconds).
+inline constexpr double kBoundedSlowdownThreshold = 10.0;
+
+/// Per-job bounded slowdown — the same formula the simulator's incremental
+/// accumulators use, exported so streaming consumers (start-hook percentile
+/// estimators in the benches/examples) cannot drift from it.
+inline double bounded_slowdown(double wait, double run) {
+  const double run_floor =
+      run > kBoundedSlowdownThreshold ? run : kBoundedSlowdownThreshold;
+  const double s = (wait + run) / run_floor;
+  return s > 1.0 ? s : 1.0;
+}
+
 /// Priority score for heuristic scheduling: LOWER runs first.
 using PriorityFn = std::function<double(const trace::Job&, double now)>;
 
@@ -67,6 +87,13 @@ struct RunResult {
 
   double value(Metric m) const;
 };
+
+/// Field-by-field bitwise equality (memcmp on the doubles, so -0.0 != 0.0
+/// and identical NaNs compare equal). This is the comparator behind the
+/// streamed-vs-materialized equivalence gates in the tests and
+/// bench_trace_streaming: one definition, so the gates cannot check
+/// different field sets as RunResult evolves.
+bool bitwise_equal(const RunResult& a, const RunResult& b);
 
 /// Per-user average bounded slowdown of an already-scheduled job set,
 /// sorted by user id. (Analysis helper; not on the hot path.)
@@ -88,6 +115,28 @@ class SchedulingEnv {
   void reset(const std::vector<trace::Job>& jobs);
   void reset(std::vector<trace::Job>&& jobs);
 
+  /// Streamed episode: rewind `source` and pull jobs from it in
+  /// `chunk_jobs` batches as simulation time reaches them, instead of
+  /// requiring the whole trace up front. Started jobs are recycled out of
+  /// the live buffer (amortized O(1) compaction), so peak memory is
+  /// O(backlog + chunk) — independent of trace length. The schedule and
+  /// every metric are bitwise identical to a materialized reset() of the
+  /// same (submit-sorted) jobs; the source must deliver nondecreasing
+  /// submit times or this throws std::runtime_error. `source` must outlive
+  /// the episode. Note: jobs() only exposes the live buffer in this mode —
+  /// use set_start_hook() for per-job schedule records.
+  void reset(trace::JobSource& source, std::size_t chunk_jobs = 4096);
+
+  /// Observer fired at every job start, after its schedule state and the
+  /// incremental metrics are written. Plain function pointer: zero cost
+  /// when unset, no allocation when set. Survives reset(). Streaming
+  /// consumers use it to see per-job records the env no longer retains.
+  using StartHook = void (*)(void* ctx, const trace::Job& job);
+  void set_start_hook(StartHook hook, void* ctx) {
+    start_hook_ = hook;
+    start_hook_ctx_ = ctx;
+  }
+
   /// One scheduling decision: start the `action`-th job of the observable
   /// window (waiting for processors if needed, EASY-backfilling others
   /// meanwhile when enabled), then advance until another decision is due.
@@ -105,7 +154,12 @@ class SchedulingEnv {
   double now() const { return now_; }
   int processors() const { return processors_; }
   int free_processors() const { return free_; }
-  bool done() const { return started_ == jobs_.size(); }
+  bool done() const { return drained_ && started_ == total_jobs_; }
+  /// Jobs ingested so far (== jobs().size() for materialized episodes).
+  std::size_t total_jobs() const { return total_jobs_; }
+  /// Live-buffer length — the streaming-mode memory gauge the RSS bench
+  /// tracks; equals the full episode length when materialized.
+  std::size_t buffered_jobs() const { return jobs_.size(); }
 
   /// Metrics of the (possibly partial) schedule so far.
   RunResult result() const;
@@ -122,6 +176,10 @@ class SchedulingEnv {
   };
 
   void prepare();                 ///< sort, clamp, reserve, advance to t0
+  void begin_episode();           ///< zero counters/accumulators/queues
+  bool refill();                  ///< pull one chunk; false when drained
+  void maybe_compact();           ///< recycle started jobs (streaming only)
+  void compact();
   void arrive_until_now();
   void advance_one_event();       ///< jump to next completion/arrival
   void ensure_pending();          ///< advance until a decision is possible
@@ -147,6 +205,18 @@ class SchedulingEnv {
   int free_ = 0;
   std::size_t next_arrival_ = 0;
   std::size_t started_ = 0;
+
+  // streaming state (source_ == nullptr => materialized episode)
+  trace::JobSource* source_ = nullptr;
+  std::size_t chunk_jobs_ = 0;
+  bool drained_ = true;            ///< no further jobs will arrive
+  std::size_t total_jobs_ = 0;     ///< ingested so far (== n materialized)
+  double last_ingested_submit_ = 0.0;  ///< order guard across refills
+  std::size_t dead_in_buffer_ = 0; ///< started jobs awaiting compaction
+  std::vector<std::uint32_t> remap_;  ///< compaction scratch
+
+  StartHook start_hook_ = nullptr;
+  void* start_hook_ctx_ = nullptr;
 
   // incremental metric accumulators
   double sum_bsld_ = 0.0, sum_sld_ = 0.0, sum_wait_ = 0.0, sum_turn_ = 0.0;

@@ -1,0 +1,26 @@
+#pragma once
+// The in-memory job record shared by every ingestion path (materialized
+// traces, sharded streaming readers) and the simulator.
+
+#include <cstdint>
+
+namespace rlsched::trace {
+
+struct Job {
+  std::int64_t id = 0;
+  double submit_time = 0.0;     ///< seconds since trace start
+  double run_time = 0.0;        ///< actual runtime (seconds)
+  double requested_time = 0.0;  ///< user runtime estimate (>= run_time)
+  int requested_procs = 1;
+  int user = 0;
+
+  // --- schedule state, written by the simulator ---
+  double start_time = -1.0;  ///< < 0 while unscheduled
+
+  void reset_schedule_state() { start_time = -1.0; }
+  bool scheduled() const { return start_time >= 0.0; }
+  double wait_time() const { return start_time - submit_time; }
+  double end_time() const { return start_time + run_time; }
+};
+
+}  // namespace rlsched::trace

@@ -1,0 +1,24 @@
+#pragma once
+// Standard Workload Format line parsing, shared by the materialized loader
+// (Trace::load_swf) and the streaming ShardedReader. One implementation is
+// load-bearing: the streamed-vs-materialized equivalence guarantee requires
+// both ingestion paths to decode a given SWF row into the exact same Job.
+
+#include <string>
+
+#include "trace/job.hpp"
+
+namespace rlsched::trace {
+
+/// Value after "<key>:" in an SWF header comment line ("; MaxProcs: 128"),
+/// or -1 when the key is absent.
+long swf_header_value(const std::string& line, const char* key);
+
+/// Decode one SWF data row (18 whitespace-separated numeric fields; rows
+/// with at least 9 are accepted, matching archive traces that truncate the
+/// tail columns). Returns false for malformed rows — fewer than 9 numeric
+/// fields, e.g. a truncated final line — which callers skip; `out` is only
+/// written on success. Never throws and reads only `line`.
+bool swf_parse_row(const std::string& line, Job& out);
+
+}  // namespace rlsched::trace

@@ -1,45 +1,21 @@
 #pragma once
-// Job traces: the in-memory job record, trace containers, and Standard
-// Workload Format (SWF) import/export — the format of the Parallel
-// Workloads Archive traces the paper evaluates on.
+// Job traces: the materialized trace container and Standard Workload
+// Format (SWF) import/export — the format of the Parallel Workloads
+// Archive traces the paper evaluates on. The job record lives in
+// trace/job.hpp; the streaming counterpart is trace/sharded_reader.hpp.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "trace/job.hpp"
+#include "trace/job_source.hpp"
 #include "util/rng.hpp"
 
 namespace rlsched::trace {
 
-struct Job {
-  std::int64_t id = 0;
-  double submit_time = 0.0;     ///< seconds since trace start
-  double run_time = 0.0;        ///< actual runtime (seconds)
-  double requested_time = 0.0;  ///< user runtime estimate (>= run_time)
-  int requested_procs = 1;
-  int user = 0;
-
-  // --- schedule state, written by the simulator ---
-  double start_time = -1.0;  ///< < 0 while unscheduled
-
-  void reset_schedule_state() { start_time = -1.0; }
-  bool scheduled() const { return start_time >= 0.0; }
-  double wait_time() const { return start_time - submit_time; }
-  double end_time() const { return start_time + run_time; }
-};
-
-/// Table II column set, computed from the loaded jobs.
-struct Characteristics {
-  std::string name;
-  int processors = 0;
-  std::size_t jobs = 0;
-  double mean_interarrival = 0.0;
-  double mean_requested_time = 0.0;
-  double mean_requested_procs = 0.0;
-  std::size_t distinct_users = 0;
-};
-
-class Trace {
+class Trace : public JobSource {
  public:
   Trace() = default;
   Trace(std::string name, int processors, std::vector<Job> jobs);
@@ -52,9 +28,16 @@ class Trace {
   /// Write the trace as SWF (18-column rows plus a MaxProcs header).
   void save_swf(const std::string& path) const;
 
-  const std::string& name() const { return name_; }
-  int processors() const { return processors_; }
+  const std::string& name() const override { return name_; }
+  int processors() const override { return processors_; }
   std::size_t size() const { return jobs_.size(); }
+
+  // --- JobSource: stream the materialized jobs in submit order ---
+  std::size_t fetch(std::size_t max_jobs, std::vector<Job>& out) override;
+  void rewind() override { cursor_ = 0; }
+  std::optional<std::size_t> size_hint() const override {
+    return jobs_.size();
+  }
   const Job& operator[](std::size_t i) const { return jobs_[i]; }
   const std::vector<Job>& jobs() const { return jobs_; }
 
@@ -81,7 +64,8 @@ class Trace {
  private:
   std::string name_;
   int processors_ = 0;
-  std::vector<Job> jobs_;  ///< sorted by submit_time
+  std::vector<Job> jobs_;    ///< sorted by submit_time
+  std::size_t cursor_ = 0;  ///< JobSource fetch position
 };
 
 }  // namespace rlsched::trace

@@ -27,6 +27,11 @@ Summary summarize(const std::vector<double>& values);
 class RunningStats {
  public:
   void add(double x);
+  /// Fold another accumulator in (Chan et al. pairwise update) — the
+  /// cross-shard path: accumulate each trace shard independently, merge in
+  /// shard order. Exact: merged mean/variance equal the pooled stream's up
+  /// to floating-point reassociation.
+  void merge(const RunningStats& other);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
   double variance() const;  ///< population variance; 0 for n < 2
@@ -36,6 +41,30 @@ class RunningStats {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+};
+
+/// P² streaming quantile estimator (Jain & Chlamtac 1985): one quantile in
+/// O(1) memory and O(1) per sample — the per-job metric percentiles of an
+/// archive-scale streamed replay, where summarize()'s sort-a-copy would
+/// materialize the whole distribution. Exact for the first 5 samples, an
+/// interpolated estimate after; estimates converge as n grows (the unit
+/// tests bound the error on known distributions).
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 for the median, 0.99 for p99.
+  explicit P2Quantile(double q);
+  void add(double x);
+  std::size_t count() const { return n_; }
+  /// Current estimate; 0 before any sample.
+  double value() const;
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5];        ///< marker heights (value estimates)
+  double positions_[5];      ///< actual marker positions (1-based)
+  double desired_[5];        ///< desired marker positions
+  double increments_[5];     ///< desired-position increments per sample
 };
 
 /// Linear histogram over [lo, hi); out-of-range samples are clamped into

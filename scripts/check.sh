@@ -3,13 +3,18 @@
 # ctest) plus the Table IX cost benchmark as a compile-and-run smoke test of
 # the perf-critical path.
 #
-# Usage: scripts/check.sh [--sanitize[=LIST]] [build-dir]
+# Usage: scripts/check.sh [--sanitize[=LIST]] [--coverage] [build-dir]
 #
 #   --sanitize            shorthand for --sanitize=address,undefined
 #   --sanitize=LIST       instrument with -fsanitize=LIST; LIST=thread runs
 #                         only the threaded tests (PPO smoke + parallel
 #                         rollout), matching the hosted TSan job
-#   build-dir             defaults to ./build (or ./build-<sanitizers>)
+#   --coverage            instrument for line coverage, run ctest, and print
+#                         a per-file + total line-coverage summary (llvm-cov
+#                         for clang builds, gcov for gcc); defaults the
+#                         build type to Debug and skips the perf smoke
+#   build-dir             defaults to ./build (or ./build-<sanitizers>,
+#                         ./build-coverage)
 #
 # Honors CMAKE_BUILD_TYPE from the environment (the CI matrix sets it);
 # otherwise the project default (Release) applies.
@@ -32,13 +37,15 @@ step() {
 trap 'printf "%sFAILED during: %s%s\n" "$RED" "$CURRENT_STEP" "$RESET" >&2' ERR
 
 SANITIZE=""
+COVERAGE=""
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE="address,undefined" ;;
     --sanitize=*) SANITIZE="${arg#--sanitize=}" ;;
+    --coverage) COVERAGE=1 ;;
     -h|--help)
-      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     -*)
@@ -53,12 +60,20 @@ done
 if [ -z "$BUILD_DIR" ]; then
   if [ -n "$SANITIZE" ]; then
     BUILD_DIR="build-${SANITIZE//,/-}"
+  elif [ -n "$COVERAGE" ]; then
+    BUILD_DIR="build-coverage"
   else
     BUILD_DIR="build"
   fi
 fi
 
 CMAKE_ARGS=(-DRLSCHED_SANITIZE="$SANITIZE")
+if [ -n "$COVERAGE" ]; then
+  CMAKE_ARGS+=(-DRLSCHED_COVERAGE=ON)
+  # Coverage numbers on optimized code blame the wrong lines; default to
+  # Debug unless the caller insists otherwise.
+  CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Debug}"
+fi
 if [ -n "${CMAKE_BUILD_TYPE:-}" ]; then
   CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$CMAKE_BUILD_TYPE")
 fi
@@ -74,6 +89,20 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 step "build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
+if [ -n "$COVERAGE" ]; then
+  COVERAGE_FLAVOR="$(cat "$BUILD_DIR/coverage-flavor.txt")"
+  if [ "$COVERAGE_FLAVOR" = llvm ]; then
+    # One profile per test process, merged below.
+    rm -rf "$BUILD_DIR/profiles"
+    mkdir -p "$BUILD_DIR/profiles"
+    export LLVM_PROFILE_FILE="$PWD/$BUILD_DIR/profiles/%m-%p.profraw"
+  else
+    # Stale counters from a previous run would merge into (or, after a
+    # rebuild, stamp-mismatch against) this run's data — start clean.
+    find "$BUILD_DIR" -name '*.gcda' -delete
+  fi
+fi
+
 step "ctest"
 if [ "$SANITIZE" = "thread" ]; then
   # TSan job: only the tests that exercise the thread pool — the rest are
@@ -84,7 +113,68 @@ else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 fi
 
-if [ -z "$SANITIZE" ]; then
+if [ -n "$COVERAGE" ]; then
+  step "line-coverage summary ($COVERAGE_FLAVOR)"
+  if [ "$COVERAGE_FLAVOR" = llvm ]; then
+    llvm-profdata merge -sparse "$BUILD_DIR"/profiles/*.profraw \
+      -o "$BUILD_DIR/coverage.profdata"
+    # Report over every test binary (the library is linked statically into
+    # each); restrict the listing to the library's own sources.
+    OBJECT_ARGS=()
+    FIRST_BIN=""
+    for t in "$BUILD_DIR"/tests/test_*; do
+      [ -x "$t" ] || continue
+      if [ -z "$FIRST_BIN" ]; then FIRST_BIN="$t"; else OBJECT_ARGS+=(-object "$t"); fi
+    done
+    llvm-cov report "$FIRST_BIN" "${OBJECT_ARGS[@]}" \
+      -instr-profile="$BUILD_DIR/coverage.profdata" \
+      -ignore-filename-regex='(tests|bench|examples)/'
+  else
+    # gcov flavor: aggregate "Lines executed" over the library's objects.
+    (cd "$BUILD_DIR" &&
+     find . -path '*rlsched.dir*' -name '*.gcda' -print0 |
+       xargs -0 gcov -n 2>/dev/null) |
+      awk '/^File /{file=$0; sub(/^File /,"",file); gsub(/\x27/,"",file)}
+           /^No executable lines/{file=""}
+           /^Lines executed:/{
+             # A Lines line with no pending File is gcov'\''s whole-run
+             # total — skip it, we aggregate ourselves.
+             if (file != "" && file !~ /(tests|bench|examples)\// &&
+                 file !~ /^\/usr/) {
+               pct=$0; sub(/^Lines executed:/,"",pct); sub(/%.*/,"",pct)
+               n=$0; sub(/.*% of /,"",n)
+               # Headers appear once per including TU; keep one entry per
+               # file — the widest instrumentation, best coverage on ties —
+               # so the TOTAL does not weight headers N times (llvm-cov
+               # deduplicates these by merging counts; with only per-TU
+               # summaries this is the closest approximation).
+               n += 0  # force numeric: sub() yields strings, and a
+                       # string compare would rank "9" above "120"
+               if (!(file in lines)) order[++nfiles]=file
+               cov=pct/100.0*n
+               if (n > lines[file] ||
+                   (n == lines[file] && cov > covered[file])) {
+                 lines[file]=n; covered[file]=cov
+               }
+             }
+             file=""
+           }
+           END{
+             for (i=1; i<=nfiles; ++i) {
+               f=order[i]
+               printf "%7.2f%% of %5d  %s\n",
+                      100.0*covered[f]/lines[f], lines[f], f
+               c += covered[f]; t += lines[f]
+             }
+             if (t > 0)
+               printf "TOTAL line coverage: %.2f%% (%d of %d lines)\n",
+                      100.0*c/t, c, t
+             else { print "no coverage data found"; exit 1 }
+           }'
+  fi
+fi
+
+if [ -z "$SANITIZE" ] && [ -z "$COVERAGE" ]; then
   step "Table IX cost smoke (decision latency must stay flat)"
   if [ -x "$BUILD_DIR/bench/bench_table9_cost" ]; then
     # Keep the smoke cheap: short measurement time, skip the training-epoch

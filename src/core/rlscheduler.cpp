@@ -50,6 +50,15 @@ sim::RunResult RLScheduler::schedule_on(const std::vector<trace::Job>& seq,
   return trainer_->evaluate(seq, processors, backfill);
 }
 
+sim::RunResult RLScheduler::schedule_stream(trace::JobSource& source,
+                                            bool backfill,
+                                            std::size_t chunk_jobs) const {
+  // The stream's own cluster size, not the training one: archive traces
+  // are scheduled on the machine they were recorded on.
+  return trainer_->evaluate_stream(source, source.processors(), backfill,
+                                   chunk_jobs);
+}
+
 void RLScheduler::save(const std::string& path) const { trainer_->save(path); }
 
 void RLScheduler::load(const std::string& path) { trainer_->load(path); }

@@ -405,6 +405,20 @@ sim::RunResult PPOTrainer::evaluate(const std::vector<trace::Job>& seq,
   return env.result();
 }
 
+sim::RunResult PPOTrainer::evaluate_stream(trace::JobSource& source,
+                                           int processors, bool backfill,
+                                           std::size_t chunk_jobs) const {
+  sim::SchedulingEnv env(processors, sim::EnvConfig{backfill, kMaxObservable});
+  env.reset(source, chunk_jobs);
+  while (!env.done()) {
+    const Observation obs = builder_.build(env);
+    const Logits logits = policy_->logits(obs);
+    env.step(nn::argmax_masked(logits.data(), obs.mask.data(),
+                               kMaxObservable));
+  }
+  return env.result();
+}
+
 void PPOTrainer::save(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write model file: " + path);

@@ -2,17 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <stdexcept>
 
 namespace rlsched::sim {
 
 namespace {
-constexpr double kBoundedThreshold = 10.0;  // interactive threshold (seconds)
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-double bounded_slowdown(double wait, double run) {
-  return std::max((wait + run) / std::max(run, kBoundedThreshold), 1.0);
-}
 }  // namespace
 
 std::string metric_name(Metric m) {
@@ -39,6 +36,19 @@ double RunResult::value(Metric m) const {
     case Metric::FairBoundedSlowdown: return max_user_bounded_slowdown;
   }
   return 0.0;
+}
+
+bool bitwise_equal(const RunResult& a, const RunResult& b) {
+  const double fa[] = {a.avg_bounded_slowdown, a.avg_slowdown, a.avg_wait,
+                       a.avg_turnaround,       a.utilization,  a.makespan,
+                       a.max_user_bounded_slowdown};
+  const double fb[] = {b.avg_bounded_slowdown, b.avg_slowdown, b.avg_wait,
+                       b.avg_turnaround,       b.utilization,  b.makespan,
+                       b.max_user_bounded_slowdown};
+  static_assert(sizeof(RunResult) ==
+                    sizeof(std::size_t) + 7 * sizeof(double),
+                "new RunResult field? add it to bitwise_equal");
+  return a.jobs == b.jobs && std::memcmp(fa, fb, sizeof(fa)) == 0;
 }
 
 std::vector<std::pair<int, double>> per_user_bounded_slowdown(
@@ -83,7 +93,23 @@ void SchedulingEnv::reset(std::vector<trace::Job>&& jobs) {
   prepare();
 }
 
+void SchedulingEnv::begin_episode() {
+  free_ = processors_;
+  next_arrival_ = 0;
+  started_ = 0;
+  dead_in_buffer_ = 0;
+  sum_bsld_ = sum_sld_ = sum_wait_ = sum_turn_ = 0.0;
+  busy_area_ = 0.0;
+  now_ = jobs_.empty() ? 0.0 : jobs_.front().submit_time;
+  min_submit_ = now_;
+  max_end_ = now_;
+  arrive_until_now();
+  ensure_pending();
+}
+
 void SchedulingEnv::prepare() {
+  source_ = nullptr;
+  drained_ = true;
   const auto by_submit = [](const trace::Job& a, const trace::Job& b) {
     return a.submit_time < b.submit_time;
   };
@@ -94,6 +120,7 @@ void SchedulingEnv::prepare() {
     std::stable_sort(jobs_.begin(), jobs_.end(), by_submit);
   }
   const std::size_t n = jobs_.size();
+  total_jobs_ = n;
   pending_.clear();
   pending_.reserve(n);
   running_.clear();
@@ -121,27 +148,107 @@ void SchedulingEnv::prepare() {
   user_bsld_sum_.assign(user_ids_.size(), 0.0);
   user_count_.assign(user_ids_.size(), 0);
 
-  free_ = processors_;
-  next_arrival_ = 0;
-  started_ = 0;
-  sum_bsld_ = sum_sld_ = sum_wait_ = sum_turn_ = 0.0;
-  busy_area_ = 0.0;
-  now_ = n > 0 ? jobs_.front().submit_time : 0.0;
-  min_submit_ = now_;
-  max_end_ = now_;
-  arrive_until_now();
-  ensure_pending();
+  begin_episode();
+}
+
+void SchedulingEnv::reset(trace::JobSource& source, std::size_t chunk_jobs) {
+  source_ = &source;
+  chunk_jobs_ = std::max<std::size_t>(1, chunk_jobs);
+  drained_ = false;
+  total_jobs_ = 0;
+  last_ingested_submit_ = -std::numeric_limits<double>::infinity();
+  source.rewind();
+
+  jobs_.clear();
+  pending_.clear();
+  running_.clear();
+  shadow_.clear();
+  // The user table is discovered incrementally as jobs stream in
+  // (start_job's sorted insert); distinct users — not jobs — bound it.
+  user_ids_.clear();
+  user_bsld_sum_.clear();
+  user_count_.clear();
+
+  refill();
+  begin_episode();
+}
+
+bool SchedulingEnv::refill() {
+  if (drained_) return false;
+  const std::size_t before = jobs_.size();
+  const std::size_t got = source_->fetch(chunk_jobs_, jobs_);
+  if (got == 0) {
+    drained_ = true;
+    return false;
+  }
+  total_jobs_ += got;
+  // Same normalization prepare() applies to a materialized episode, so the
+  // two ingestion paths feed the scheduler identical job values. Ordering
+  // is the source's contract (prepare() sorts instead; a stream cannot);
+  // the guard compares against the max submit EVER ingested, not the
+  // buffer's tail — compaction may have recycled the latest arrival.
+  for (std::size_t i = before; i < jobs_.size(); ++i) {
+    trace::Job& j = jobs_[i];
+    if (j.submit_time < last_ingested_submit_) {
+      throw std::runtime_error(
+          "JobSource delivered jobs out of submit order");
+    }
+    last_ingested_submit_ = j.submit_time;
+    j.reset_schedule_state();
+    j.requested_procs = std::clamp(j.requested_procs, 1, processors_);
+    if (j.requested_time < j.run_time) j.requested_time = j.run_time;
+  }
+  return true;
+}
+
+void SchedulingEnv::maybe_compact() {
+  // Amortized O(1) per job: compacting costs O(buffer) and only fires once
+  // dead entries fill half of it (and at least a chunk's worth), so the
+  // buffer length tracks backlog + chunk, never the trace.
+  if (source_ == nullptr) return;
+  if (dead_in_buffer_ < chunk_jobs_ || dead_in_buffer_ * 2 < jobs_.size()) {
+    return;
+  }
+  compact();
+}
+
+void SchedulingEnv::compact() {
+  remap_.assign(jobs_.size(), 0);
+  std::size_t w = 0;
+  std::size_t new_next = jobs_.size();
+  for (std::size_t r = 0; r < jobs_.size(); ++r) {
+    if (r == next_arrival_) new_next = w;
+    if (jobs_[r].scheduled()) continue;  // started: recycle the slot
+    remap_[r] = static_cast<std::uint32_t>(w);
+    if (w != r) jobs_[w] = jobs_[r];
+    ++w;
+  }
+  if (next_arrival_ >= jobs_.size()) new_next = w;
+  next_arrival_ = new_next;
+  for (std::uint32_t& p : pending_) p = remap_[p];
+  jobs_.resize(w);  // shrinks: capacity (and so peak RSS) is retained
+  dead_in_buffer_ = 0;
 }
 
 void SchedulingEnv::arrive_until_now() {
-  while (next_arrival_ < jobs_.size() &&
-         jobs_[next_arrival_].submit_time <= now_) {
-    pending_.push_back(static_cast<std::uint32_t>(next_arrival_));
-    ++next_arrival_;
+  for (;;) {
+    while (next_arrival_ < jobs_.size() &&
+           jobs_[next_arrival_].submit_time <= now_) {
+      pending_.push_back(static_cast<std::uint32_t>(next_arrival_));
+      ++next_arrival_;
+    }
+    // Streaming: the next chunk may hold more jobs that have already
+    // arrived by now_ — keep pulling until the buffer outruns the clock,
+    // exactly matching the materialized admission set.
+    if (next_arrival_ < jobs_.size() || drained_) break;
+    if (!refill()) break;
   }
 }
 
 void SchedulingEnv::advance_one_event() {
+  if (next_arrival_ == jobs_.size() && !drained_) {
+    refill();  // the next arrival's time is needed to pick the next event
+  }
   double t = kInf;
   if (!running_.empty()) t = running_.front().end;
   if (next_arrival_ < jobs_.size()) {
@@ -181,8 +288,21 @@ void SchedulingEnv::start_job(std::uint32_t idx) {
   const auto it =
       std::lower_bound(user_ids_.begin(), user_ids_.end(), j.user);
   const auto ui = static_cast<std::size_t>(it - user_ids_.begin());
+  if (it == user_ids_.end() || *it != j.user) {
+    // Streaming episodes discover users as they start (materialized
+    // prepare() pre-builds the full table, so this branch never fires
+    // there and the zero-allocation contract holds). Sorted insert keeps
+    // the per-user aggregates identical between the two modes.
+    user_ids_.insert(it, j.user);
+    user_bsld_sum_.insert(user_bsld_sum_.begin() +
+                              static_cast<std::ptrdiff_t>(ui), 0.0);
+    user_count_.insert(user_count_.begin() +
+                           static_cast<std::ptrdiff_t>(ui), 0u);
+  }
   user_bsld_sum_[ui] += bsld;
   user_count_[ui] += 1;
+  if (source_ != nullptr) ++dead_in_buffer_;
+  if (start_hook_ != nullptr) start_hook_(start_hook_ctx_, j);
 }
 
 double SchedulingEnv::reservation(int needed, int* spare) {
@@ -231,16 +351,19 @@ void SchedulingEnv::try_backfill(const trace::Job& head) {
 }
 
 void SchedulingEnv::start_with_wait(std::uint32_t idx) {
-  const trace::Job& j = jobs_[idx];
-  while (free_ < j.requested_procs) {
-    if (cfg_.backfill) try_backfill(j);
-    if (free_ >= j.requested_procs) break;
+  // Indexed re-reads, not a held reference: advance_one_event() may refill
+  // the streamed buffer and reallocate jobs_ (indices stay stable — only
+  // maybe_compact(), which never runs inside a decision, remaps them).
+  while (free_ < jobs_[idx].requested_procs) {
+    if (cfg_.backfill) try_backfill(jobs_[idx]);
+    if (free_ >= jobs_[idx].requested_procs) break;
     advance_one_event();
   }
   start_job(idx);
 }
 
 bool SchedulingEnv::step(std::size_t action) {
+  maybe_compact();  // safe point: no job indices are held across steps
   ensure_pending();
   if (done()) return true;
   const std::size_t window = std::min(pending_.size(), cfg_.max_observable);
@@ -254,6 +377,7 @@ bool SchedulingEnv::step(std::size_t action) {
 
 RunResult SchedulingEnv::run_priority(const PriorityFn& priority) {
   while (!done()) {
+    maybe_compact();
     ensure_pending();
     if (pending_.empty()) break;
     // O(k) min-scan beats a full sort here: one decision needs one minimum,

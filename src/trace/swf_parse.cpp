@@ -1,0 +1,43 @@
+#include "trace/swf_parse.hpp"
+
+#include <cstdlib>
+
+namespace rlsched::trace {
+
+long swf_header_value(const std::string& line, const char* key) {
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return -1;
+  const auto colon = line.find(':', pos);
+  if (colon == std::string::npos) return -1;
+  return std::strtol(line.c_str() + colon + 1, nullptr, 10);
+}
+
+bool swf_parse_row(const std::string& line, Job& out) {
+  // strtod walk instead of an istringstream: no stream construction per
+  // row, which matters at archive scale (millions of rows per shard pass).
+  const char* p = line.c_str();
+  double f[18];
+  int n = 0;
+  while (n < 18) {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) break;  // no further numeric field
+    f[n++] = v;
+    p = end;
+  }
+  if (n < 9) return false;  // malformed/truncated row
+  Job j;
+  j.id = static_cast<std::int64_t>(f[0]);
+  j.submit_time = f[1];
+  j.run_time = f[3] > 0.0 ? f[3] : 0.0;
+  const double alloc = f[4];
+  const double req_procs = f[7];
+  j.requested_procs = static_cast<int>(
+      req_procs > 0.0 ? req_procs : (alloc > 0.0 ? alloc : 1.0));
+  j.requested_time = f[8] > 0.0 ? f[8] : j.run_time;
+  j.user = n > 11 ? static_cast<int>(f[11]) : 0;
+  out = j;
+  return true;
+}
+
+}  // namespace rlsched::trace

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <fstream>
 #include <iomanip>
-#include <set>
-#include <sstream>
 #include <stdexcept>
+
+#include "trace/swf_parse.hpp"
 
 namespace rlsched::trace {
 
@@ -28,38 +28,16 @@ Trace Trace::load_swf(const std::string& path, const std::string& name) {
     if (line.empty()) continue;
     if (line[0] == ';') {
       // Header comment; look for "; MaxProcs: N" (or MaxNodes as fallback).
-      const auto parse_header = [&line](const char* key) -> long {
-        const auto pos = line.find(key);
-        if (pos == std::string::npos) return -1;
-        const auto colon = line.find(':', pos);
-        if (colon == std::string::npos) return -1;
-        return std::strtol(line.c_str() + colon + 1, nullptr, 10);
-      };
-      const long procs = parse_header("MaxProcs");
+      const long procs = swf_header_value(line, "MaxProcs");
       if (procs > 0) max_procs = static_cast<int>(procs);
       else if (max_procs == 0) {
-        const long nodes = parse_header("MaxNodes");
+        const long nodes = swf_header_value(line, "MaxNodes");
         if (nodes > 0) max_procs = static_cast<int>(nodes);
       }
       continue;
     }
-    // SWF data row: 18 whitespace-separated fields.
-    std::istringstream fields(line);
-    double f[18];
-    int n = 0;
-    while (n < 18 && (fields >> f[n])) ++n;
-    if (n < 9) continue;  // malformed row: skip
     Job j;
-    j.id = static_cast<std::int64_t>(f[0]);
-    j.submit_time = f[1];
-    j.run_time = f[3] > 0.0 ? f[3] : 0.0;
-    const double alloc = f[4];
-    const double req_procs = f[7];
-    j.requested_procs =
-        static_cast<int>(req_procs > 0.0 ? req_procs
-                                         : (alloc > 0.0 ? alloc : 1.0));
-    j.requested_time = f[8] > 0.0 ? f[8] : j.run_time;
-    j.user = n > 11 ? static_cast<int>(f[11]) : 0;
+    if (!swf_parse_row(line, j)) continue;  // malformed row: skip
     jobs.push_back(j);
   }
   if (max_procs == 0) {
@@ -84,6 +62,14 @@ void Trace::save_swf(const std::string& path) const {
         << j.requested_time << " -1 1 " << j.user
         << " -1 -1 -1 -1 -1 -1\n";
   }
+}
+
+std::size_t Trace::fetch(std::size_t max_jobs, std::vector<Job>& out) {
+  const std::size_t n = std::min(max_jobs, jobs_.size() - cursor_);
+  out.insert(out.end(), jobs_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+             jobs_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+  cursor_ += n;
+  return n;
 }
 
 std::vector<Job> Trace::sequence(std::size_t start, std::size_t len) const {
@@ -124,27 +110,12 @@ void Trace::sample_sequence_into(util::Rng& rng, std::size_t len,
 }
 
 Characteristics Trace::characteristics() const {
-  Characteristics c;
-  c.name = name_;
-  c.processors = processors_;
-  c.jobs = jobs_.size();
-  if (jobs_.empty()) return c;
-  double sum_rt = 0.0, sum_np = 0.0;
-  std::set<int> users;
-  for (const Job& j : jobs_) {
-    sum_rt += j.requested_time;
-    sum_np += j.requested_procs;
-    users.insert(j.user);
-  }
-  const double n = static_cast<double>(jobs_.size());
-  if (jobs_.size() > 1) {
-    c.mean_interarrival =
-        (jobs_.back().submit_time - jobs_.front().submit_time) / (n - 1.0);
-  }
-  c.mean_requested_time = sum_rt / n;
-  c.mean_requested_procs = sum_np / n;
-  c.distinct_users = users.size();
-  return c;
+  // Shared with the streaming path: a ShardedReader fed through the same
+  // accumulator produces exactly these numbers (same add order, same
+  // floating-point operations), shard boundaries notwithstanding.
+  CharacteristicsAccumulator acc;
+  for (const Job& j : jobs_) acc.add(j);
+  return acc.finish(name_, processors_);
 }
 
 }  // namespace rlsched::trace

@@ -51,11 +51,108 @@ void RunningStats::add(double x) {
   m2_ += d * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * (nb / n_total);
+  m2_ += other.m2_ + delta * delta * (na * nb / n_total);
+  n_ += other.n_;
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  // Locate the cell and update the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++n_;
+
+  // Nudge the three interior markers toward their desired positions with
+  // piecewise-parabolic (fallback: linear) height interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double np = positions_[i] + s;
+      // Parabolic prediction of the height at the shifted position.
+      double h = heights_[i] +
+                 s / (positions_[i + 1] - positions_[i - 1]) *
+                     ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+                      (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (h <= heights_[i - 1] || h >= heights_[i + 1]) {
+        // Parabola left the bracket: fall back to linear interpolation.
+        h = heights_[i] + s * (heights_[i + static_cast<int>(s)] -
+                               heights_[i]) /
+                              (positions_[i + static_cast<int>(s)] -
+                               positions_[i]);
+      }
+      heights_[i] = h;
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact small-sample quantile over the sorted prefix.
+    double sorted[5];
+    std::copy(heights_, heights_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const double pos = q_ * static_cast<double>(n_ - 1);
+    const std::size_t i = static_cast<std::size_t>(pos);
+    if (i + 1 >= n_) return sorted[n_ - 1];
+    const double frac = pos - static_cast<double>(i);
+    return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+  }
+  return heights_[2];
+}
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi > lo ? hi : lo + 1.0), counts_(bins > 0 ? bins : 1, 0) {}

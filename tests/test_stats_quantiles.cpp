@@ -1,0 +1,135 @@
+// util/stats incremental accumulators: quantile estimates (one-shot
+// summarize(), streaming P2Quantile) against hand-computable and known
+// distributions, and the cross-shard RunningStats::merge path — shards
+// accumulated independently and merged must agree with the pooled stream.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace rlsched;
+
+  // ---------- one-shot summarize(): hand-computed fixture ----------
+  {
+    // 0..10: median 5, p95 = 9.5, min 0, max 10, mean 5.
+    std::vector<double> v;
+    for (int i = 10; i >= 0; --i) v.push_back(i);  // order must not matter
+    const auto s = util::summarize(v);
+    CHECK(s.count == 11);
+    CHECK_NEAR(s.mean, 5.0, 1e-12);
+    CHECK_NEAR(s.median, 5.0, 1e-12);
+    CHECK_NEAR(s.p95, 9.5, 1e-12);
+    CHECK_NEAR(s.min, 0.0, 0.0);
+    CHECK_NEAR(s.max, 10.0, 0.0);
+    // Population stddev of 0..10: sqrt(10) = 3.1623.
+    CHECK_NEAR(s.stddev, 3.1622776601683795, 1e-12);
+    CHECK_NEAR(s.skewness, 0.0, 1e-12);  // symmetric
+  }
+
+  // ---------- P2Quantile: exact for the first 5 samples ----------
+  {
+    util::P2Quantile med(0.5);
+    CHECK_NEAR(med.value(), 0.0, 0.0);  // empty
+    med.add(3.0);
+    CHECK_NEAR(med.value(), 3.0, 0.0);  // single sample
+    med.add(1.0);
+    CHECK_NEAR(med.value(), 2.0, 1e-12);  // {1,3} -> interpolated 2
+    med.add(2.0);
+    CHECK_NEAR(med.value(), 2.0, 1e-12);  // {1,2,3}
+    med.add(10.0);
+    med.add(0.0);
+    CHECK_NEAR(med.value(), 2.0, 1e-12);  // {0,1,2,3,10}
+    CHECK(med.count() == 5);
+  }
+
+  // ---------- P2Quantile vs exact quantiles, uniform stream ----------
+  {
+    // A deterministic pseudo-shuffled uniform stream over [0, 1):
+    // the golden-ratio (Weyl) sequence visits [0,1) equidistributed but in
+    // scattered order, the adversarial case for a streaming estimator.
+    const std::size_t n = 20000;
+    util::P2Quantile p50(0.5), p90(0.9), p99(0.99);
+    for (std::size_t i = 1; i <= n; ++i) {
+      const double x =
+          std::fmod(static_cast<double>(i) * 0.6180339887498949, 1.0);
+      p50.add(x);
+      p90.add(x);
+      p99.add(x);
+    }
+    CHECK(p50.count() == n);
+    CHECK_NEAR(p50.value(), 0.50, 0.02);
+    CHECK_NEAR(p90.value(), 0.90, 0.02);
+    CHECK_NEAR(p99.value(), 0.99, 0.01);
+    // Quantile estimates must be ordered like their targets.
+    CHECK(p50.value() < p90.value());
+    CHECK(p90.value() < p99.value());
+  }
+
+  // ---------- P2Quantile on a skewed (exponential-ish) stream ----------
+  {
+    util::Rng rng(77);
+    std::vector<double> all;
+    util::P2Quantile p95(0.95);
+    for (std::size_t i = 0; i < 50000; ++i) {
+      const double x = rng.exponential(10.0);
+      p95.add(x);
+      all.push_back(x);
+    }
+    const auto exact = util::summarize(all);
+    // Exponential p95 = 10*ln(20) = 29.96; allow 5% relative error.
+    CHECK_NEAR(p95.value(), exact.p95, 0.05 * exact.p95);
+  }
+
+  // ---------- RunningStats: hand-computed and cross-shard merge ----------
+  {
+    util::RunningStats a;
+    for (const double x : {2.0, 4.0, 6.0}) a.add(x);
+    CHECK(a.count() == 3);
+    CHECK_NEAR(a.mean(), 4.0, 1e-12);
+    // Population variance of {2,4,6} = 8/3.
+    CHECK_NEAR(a.variance(), 8.0 / 3.0, 1e-12);
+
+    // merge() with an empty side is the identity, both ways.
+    util::RunningStats empty;
+    util::RunningStats b = a;
+    b.merge(empty);
+    CHECK(b.count() == 3);
+    CHECK_NEAR(b.mean(), 4.0, 1e-12);
+    util::RunningStats c = empty;
+    c.merge(a);
+    CHECK(c.count() == 3);
+    CHECK_NEAR(c.variance(), 8.0 / 3.0, 1e-12);
+  }
+  {
+    // The tentpole's cross-shard path: accumulate a 10k-sample stream
+    // whole, and as 7 unequal shards merged in shard order. Counts are
+    // exact; moments agree to floating-point reassociation.
+    util::Rng rng(5);
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < 10000; ++i) {
+      xs.push_back(rng.uniform() * 100.0 - 20.0);
+    }
+    util::RunningStats pooled;
+    for (const double x : xs) pooled.add(x);
+
+    const std::size_t cuts[] = {0, 1, 8, 509, 510, 4242, 9999, 10000};
+    util::RunningStats merged;
+    for (std::size_t s = 0; s + 1 < sizeof(cuts) / sizeof(cuts[0]); ++s) {
+      util::RunningStats shard;
+      for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i) shard.add(xs[i]);
+      merged.merge(shard);  // shard lengths 1, 7, 501, 1, 3732, 5757, 1
+    }
+    CHECK(merged.count() == pooled.count());
+    CHECK_NEAR(merged.mean(), pooled.mean(), 1e-9 * std::fabs(pooled.mean()));
+    CHECK_NEAR(merged.variance(), pooled.variance(),
+               1e-9 * pooled.variance());
+    CHECK_NEAR(merged.stddev(), pooled.stddev(), 1e-9 * pooled.stddev());
+  }
+
+  std::puts("stats quantiles + cross-shard merge: OK");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Malformed-input contract for the SWF parser and ShardedReader
+// (documented in trace/sharded_reader.hpp): every case below must produce
+// a clean error or the documented recovery — never UB. The ASan/UBSan CI
+// job runs this whole file instrumented.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+#include "trace/sharded_reader.hpp"
+#include "trace/swf_parse.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+using namespace rlsched;
+namespace fs = std::filesystem;
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+template <typename Fn>
+bool throws_runtime_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error&) {
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+int main() {
+  using namespace rlsched;
+  const std::string dir = "test_malformed_swf";
+  fs::remove_all(dir);
+  fs::create_directory(dir);
+
+  // --- row parser: truncated and garbled rows are rejected, not decoded ---
+  {
+    trace::Job j;
+    CHECK(trace::swf_parse_row("1 10 -1 100 4 -1 -1 4 120", j));  // 9 fields
+    CHECK(j.id == 1);
+    CHECK_NEAR(j.submit_time, 10.0, 0.0);
+    CHECK_NEAR(j.requested_time, 120.0, 0.0);
+    CHECK(!trace::swf_parse_row("1 10 -1 100 4", j));   // truncated: 5 fields
+    CHECK(!trace::swf_parse_row("", j));                // empty
+    CHECK(!trace::swf_parse_row("not a data row", j));  // non-numeric
+  }
+
+  // --- truncated final line: skipped by both ingestion paths ---
+  {
+    const std::string path = dir + "/truncated.swf";
+    write_file(path,
+               "; MaxProcs: 8\n"
+               "1 0 -1 100 2 -1 -1 2 100 -1 1 5 -1 -1 -1 -1 -1 -1\n"
+               "2 10 -1 50 1 -1 -1 1 50 -1 1 6 -1 -1 -1 -1 -1 -1\n"
+               "3 20 -1 30");  // cut off mid-row, no trailing newline
+    const auto t = trace::Trace::load_swf(path);
+    CHECK(t.size() == 2);
+    CHECK(t.processors() == 8);
+
+    trace::ShardedReader r(path);
+    std::vector<trace::Job> jobs;
+    CHECK(r.fetch(100, jobs) == 2);
+    CHECK(r.fetch(100, jobs) == 0);
+    CHECK(r.rows_skipped() == 1);  // the truncated row, counted not crashed
+    CHECK(jobs[0].id == 1 && jobs[1].id == 2);
+  }
+
+  // --- mid-shard EOF: a short final chunk, then exhaustion, never a hang --
+  {
+    const std::string path = dir + "/short.swf";
+    write_file(path,
+               "; MaxProcs: 4\n"
+               "1 0 -1 10 1 -1 -1 1 10 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+               "2 5 -1 10 1 -1 -1 1 10 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+               "3 9 -1 10 1 -1 -1 1 10 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+    trace::ShardedReader r(path);
+    std::vector<trace::Job> jobs;
+    CHECK(r.fetch(8, jobs) == 3);  // asked for 8, the shard had 3
+    CHECK(r.fetch(8, jobs) == 0);
+    CHECK(r.fetch(8, jobs) == 0);  // stays exhausted
+    CHECK(r.jobs_delivered() == 3);
+  }
+
+  // --- out-of-order submit times: the stream throws at the offending row;
+  // --- the materialized loader recovers by sorting ---
+  {
+    const std::string path = dir + "/unsorted.swf";
+    write_file(path,
+               "; MaxProcs: 4\n"
+               "1 100 -1 10 1 -1 -1 1 10 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+               "2 50 -1 10 1 -1 -1 1 10 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+    trace::ShardedReader r(path);
+    std::vector<trace::Job> jobs;
+    CHECK(throws_runtime_error([&] { r.fetch(100, jobs); }));
+
+    const auto t = trace::Trace::load_swf(path);  // documented recovery
+    CHECK(t.size() == 2);
+    CHECK(t[0].submit_time <= t[1].submit_time);
+  }
+
+  // --- comment-only and empty shards inside a directory are transparent --
+  {
+    const std::string d = dir + "/shards";
+    fs::create_directory(d);
+    write_file(d + "/0_head.swf",
+               "; MaxProcs: 4\n"
+               "1 0 -1 10 1 -1 -1 1 10 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+    write_file(d + "/1_comments.swf", "; a shard of nothing but comments\n");
+    write_file(d + "/2_empty.swf", "");
+    write_file(d + "/3_tail.swf",
+               "4 20 -1 10 1 -1 -1 1 10 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+    trace::ShardedReader r(d);
+    CHECK(r.shard_paths().size() == 4);
+    std::vector<trace::Job> jobs;
+    // One fetch spanning all four shards: the comment-only and empty files
+    // must not terminate the stream early.
+    CHECK(r.fetch(100, jobs) == 2);
+    CHECK(jobs[0].id == 1 && jobs[1].id == 4);
+    CHECK(r.fetch(100, jobs) == 0);
+  }
+
+  // --- empty file: zero jobs, clean exhaustion, no processors needed ---
+  {
+    const std::string path = dir + "/empty.swf";
+    write_file(path, "");
+    const auto t = trace::Trace::load_swf(path);
+    CHECK(t.size() == 0);
+    trace::ShardedReader r(path);  // no data row => no MaxProcs required
+    std::vector<trace::Job> jobs;
+    CHECK(r.fetch(10, jobs) == 0);
+    CHECK(jobs.empty());
+  }
+
+  // --- data with no MaxProcs header: streams cannot scan ahead, so this
+  // --- throws unless the caller supplies processors_hint ---
+  {
+    const std::string path = dir + "/headerless.swf";
+    write_file(path, "1 0 -1 10 2 -1 -1 2 10 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+    CHECK(throws_runtime_error([&] { trace::ShardedReader r(path); }));
+    trace::ShardedReader r(path, "", {.processors_hint = 16});
+    CHECK(r.processors() == 16);
+    std::vector<trace::Job> jobs;
+    CHECK(r.fetch(10, jobs) == 1);
+    // The materialized loader's documented fallback: widest job request.
+    CHECK(trace::Trace::load_swf(path).processors() == 2);
+  }
+
+  // --- unreadable paths throw from both ingestion paths ---
+  CHECK(throws_runtime_error(
+      [&] { trace::Trace::load_swf(dir + "/does_not_exist.swf"); }));
+  CHECK(throws_runtime_error(
+      [&] { trace::ShardedReader r(dir + "/does_not_exist.swf"); }));
+
+  // --- an empty shard directory is an error, not an empty trace ---
+  {
+    const std::string d = dir + "/no_shards";
+    fs::create_directory(d);
+    CHECK(throws_runtime_error([&] { trace::ShardedReader r(d); }));
+  }
+
+  fs::remove_all(dir);
+  std::puts("SWF malformed-input contract: OK");
+  return 0;
+}
