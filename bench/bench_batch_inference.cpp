@@ -1,0 +1,264 @@
+// Batched-inference engine throughput, and the data for the CI perf gate.
+//
+// Measures decisions/sec at batch widths B in {1, 8, 32} for three paths:
+//
+//   eval_kernel     kernel-policy evaluation sweep: pack + logits + masked
+//                   argmax per window (the Table IX decision). This net is
+//                   already batched over its 128-job window internally, so
+//                   the curve is FLAT in B — reported to prove batching
+//                   never hurts it (the window-blocked schedule; DESIGN.md).
+//   eval_mlp        mlp_v1 evaluation sweep: the weight-bound case (~0.5 MB
+//                   streamed per unbatched forward) where B x window
+//                   batching delivers the GEMV->GEMM win the ISSUE targets;
+//                   the CI gate requires >= 2x decisions/sec at B=32 vs B=1.
+//   rollout_kernel  the PPO trainer's rollout decision point — kernel
+//                   policy logits PLUS a value-net estimate per window,
+//                   exactly what collect_group() computes per step. The
+//                   value net (768-input) dominates unbatched; the gate
+//                   requires >= 2x at B=32 vs B=1 here too.
+//
+// The bench self-checks before timing: batched actions must equal the
+// unbatched argmax bitwise, and the steady-state timed loops must perform
+// ZERO heap allocation (counting global operator new) — a perf number from
+// an allocating or action-changing engine is meaningless, so either
+// violation exits nonzero.
+//
+// Output: a human table on stderr, and with --json a machine block on
+// stdout for scripts/perf_gate.py (compared against bench/baseline.json).
+// RLSCHED_BENCH_SEED varies the workload.
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+static unsigned long long g_allocs = 0;
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/ops.hpp"
+#include "nn/simd.hpp"
+#include "rl/batch_eval.hpp"
+#include "rl/observation.hpp"
+#include "rl/policy.hpp"
+#include "sim/env.hpp"
+#include "util/env.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace rlsched;
+
+volatile float g_sink = 0.0f;  ///< keeps the value forwards observable
+
+constexpr std::size_t kPool = 160;  // observations; divisible by 8 and 32
+constexpr std::size_t kWidths[] = {1, 8, 32};
+constexpr double kMinSeconds = 0.2;
+// Best-of-N: throughput on shared CI hosts dips under neighbor
+// interference but never exceeds the machine's true capability, so the
+// max over repetitions is the low-noise estimator of each path's speed.
+constexpr int kRepetitions = 3;
+
+struct ObsPool {
+  std::vector<rl::Observation> obs;
+  std::vector<const rl::Observation*> ptr;
+};
+
+/// Decision points sampled from a congested episode: every window is full
+/// of real pending jobs, like the Table IX measurement.
+ObsPool make_pool(std::uint64_t seed) {
+  const auto trace = workload::make_trace("SDSC-SP2", kPool + 512, seed);
+  const rl::ObservationBuilder builder;
+  sim::SchedulingEnv env(trace.processors());
+  env.reset(trace.sequence(0, kPool + 256));
+  ObsPool pool;
+  pool.obs.resize(kPool);
+  pool.ptr.resize(kPool);
+  for (std::size_t k = 0; k < kPool; ++k) {
+    builder.build_into(env, pool.obs[k]);
+    pool.ptr[k] = &pool.obs[k];
+    env.step(0);
+  }
+  return pool;
+}
+
+template <typename F>
+double decisions_per_sec(F&& sweep) {
+  sweep();  // warmup: sizes every batch scratch
+  const unsigned long long allocs_before = g_allocs;
+  double best = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t decisions = 0;
+    double elapsed = 0.0;
+    do {
+      sweep();
+      decisions += kPool;
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    } while (elapsed < kMinSeconds);
+    best = std::max(best, static_cast<double>(decisions) / elapsed);
+  }
+  if (g_allocs != allocs_before) {
+    std::fprintf(stderr,
+                 "FATAL: timed decision loop allocated %llu times after "
+                 "warmup\n",
+                 g_allocs - allocs_before);
+    std::exit(1);
+  }
+  return best;
+}
+
+void check_actions_match(const rl::Policy& policy, const ObsPool& pool,
+                         const std::vector<std::uint32_t>& batched_actions) {
+  for (std::size_t k = 0; k < kPool; ++k) {
+    const rl::Logits single = policy.logits(pool.obs[k]);
+    const std::size_t a = nn::argmax_masked(
+        single.data(), pool.obs[k].mask.data(), rl::kMaxObservable);
+    if (batched_actions[k] != a) {
+      std::fprintf(stderr,
+                   "FATAL: batched action %u != unbatched %zu at window "
+                   "%zu\n",
+                   batched_actions[k], a, k);
+      std::exit(1);
+    }
+  }
+}
+
+struct MetricRow {
+  std::string name;
+  double dps[3];  // one per kWidths entry
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  const auto seed = static_cast<std::uint64_t>(
+      util::env_long("RLSCHED_BENCH_SEED", 42, 0));
+  const ObsPool pool = make_pool(seed);
+
+  util::Rng rng(seed ^ 0xB47C);
+  const auto kernel =
+      rl::make_policy(rl::PolicyKind::Kernel, rl::kMaxObservable, rng);
+  const auto mlp =
+      rl::make_policy(rl::PolicyKind::MlpV1, rl::kMaxObservable, rng);
+  nn::FlatMlp value_net(
+      {rl::kJobFeatures * rl::kMaxObservable, 32, 32, 1});
+  std::vector<float> value_params(value_net.param_count());
+  value_net.init(value_params.data(), rng);
+
+  std::vector<float> logits(kPool * rl::kMaxObservable);
+  std::vector<std::uint32_t> actions(kPool);
+  std::vector<float> vx(rl::kJobFeatures * rl::kMaxObservable * 32);
+
+  std::vector<MetricRow> rows;
+  for (const rl::Policy* policy : {kernel.get(), mlp.get()}) {
+    MetricRow row;
+    row.name = policy->kind() == rl::PolicyKind::Kernel ? "eval_kernel"
+                                                        : "eval_mlp";
+    for (std::size_t wi = 0; wi < 3; ++wi) {
+      const std::size_t B = kWidths[wi];
+      row.dps[wi] = decisions_per_sec([&] {
+        for (std::size_t g = 0; g < kPool; g += B) {
+          rl::batched_argmax(*policy, pool.ptr.data() + g, B,
+                             logits.data(), actions.data() + g);
+        }
+      });
+    }
+    check_actions_match(*policy, pool, actions);
+    rows.push_back(row);
+  }
+
+  {
+    // Rollout decision point: policy scores + value estimate per window,
+    // as in PPOTrainer::collect_group (value input is the SoA-transposed
+    // observation features, packed inside the timed region exactly as the
+    // trainer packs them).
+    MetricRow row;
+    row.name = "rollout_kernel";
+    constexpr std::size_t obs_floats =
+        rl::kJobFeatures * rl::kMaxObservable;
+    for (std::size_t wi = 0; wi < 3; ++wi) {
+      const std::size_t B = kWidths[wi];
+      row.dps[wi] = decisions_per_sec([&] {
+        for (std::size_t g = 0; g < kPool; g += B) {
+          rl::batched_argmax(*kernel, pool.ptr.data() + g, B, logits.data(),
+                             actions.data() + g);
+          for (std::size_t i = 0; i < B; ++i) {
+            const float* f = pool.obs[g + i].features.data();
+            for (std::size_t x = 0; x < obs_floats; ++x) {
+              vx[x * B + i] = f[x];
+            }
+          }
+          const float* v =
+              value_net.forward_batch(value_params.data(), vx.data(), B);
+          g_sink = g_sink + v[0];
+        }
+      });
+    }
+    rows.push_back(row);
+  }
+
+  std::fprintf(stderr, "batched inference engine (SIMD lanes %zu, pool %zu"
+               " windows, seed %llu)\n",
+               nn::kSimdLanes, kPool,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(stderr, "%-16s %14s %14s %14s %10s\n", "path",
+               "B=1 dec/s", "B=8 dec/s", "B=32 dec/s", "32 vs 1");
+  for (const MetricRow& r : rows) {
+    std::fprintf(stderr, "%-16s %14.0f %14.0f %14.0f %9.2fx\n",
+                 r.name.c_str(), r.dps[0], r.dps[1], r.dps[2],
+                 r.dps[2] / r.dps[0]);
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"bench_batch_inference\",\n");
+    std::printf("  \"simd_lanes\": %zu,\n  \"pool_windows\": %zu,\n",
+                nn::kSimdLanes, kPool);
+    std::printf("  \"metrics\": {\n");
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::printf("    \"%s\": {\"b1\": %.1f, \"b8\": %.1f, \"b32\": %.1f}%s\n",
+                  rows[r].name.c_str(), rows[r].dps[0], rows[r].dps[1],
+                  rows[r].dps[2], r + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  }\n}\n");
+  }
+  return 0;
+}

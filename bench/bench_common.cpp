@@ -31,6 +31,7 @@ Scale bench_scale() {
   s.seed = static_cast<std::uint64_t>(
       util::env_long("RLSCHED_BENCH_SEED", 42, 0));
   s.workers = util::env_workers("RLSCHED_WORKERS", 1);
+  s.batch = util::env_batch("RLSCHED_BATCH", 8);
   s.model_dir = util::env_string("RLSCHED_MODEL_DIR", "rlsched_models");
   return s;
 }
@@ -51,8 +52,11 @@ core::RLSchedulerConfig scheduler_config(sim::Metric metric,
   cfg.seed = scale.seed;
   // Deliberately NOT part of the model cache key: collection and update are
   // bitwise worker-count independent, so the trained model is the same file
-  // whether 1 or 16 workers produced it.
+  // whether 1 or 16 workers produced it. The inference batch width shares
+  // that property (order-stable batched reductions — see DESIGN.md), so it
+  // stays out of the key too.
   cfg.n_workers = scale.workers;
+  cfg.batch = scale.batch;
   return cfg;
 }
 
@@ -142,9 +146,12 @@ double heuristic_avg(const std::vector<std::vector<trace::Job>>& seqs,
 double rl_avg(const core::RLScheduler& model,
               const std::vector<std::vector<trace::Job>>& seqs,
               int processors, bool backfill, sim::Metric metric) {
+  // Batched inference sweep (RLSCHED_BATCH windows per policy forward);
+  // bitwise identical to per-sequence schedule_on().
   double sum = 0.0;
-  for (const auto& s : seqs) {
-    sum += model.schedule_on(s, processors, backfill).value(metric);
+  for (const sim::RunResult& r :
+       model.schedule_many(seqs, processors, backfill)) {
+    sum += r.value(metric);
   }
   return seqs.empty() ? 0.0 : sum / static_cast<double>(seqs.size());
 }

@@ -19,6 +19,12 @@
 //                            clamped to hardware concurrency — training
 //                            results are bitwise identical for every
 //                            worker count, only wall clock changes)
+//   RLSCHED_BATCH            inference batch width B            (default 8;
+//                            windows per batched policy forward in rollout
+//                            collection and evaluation sweeps; validated
+//                            like RLSCHED_WORKERS — garbage/0/negative
+//                            rejected, clamped to util::kMaxBatchWindows.
+//                            Bitwise identical results for every value)
 //   RLSCHED_MODEL_DIR        trained-model cache directory
 //                            (default ./rlsched_models)
 //
@@ -48,6 +54,7 @@ struct Scale {
   std::size_t eval_len;
   std::uint64_t seed;
   std::size_t workers;
+  std::size_t batch;
   std::string model_dir;
 };
 

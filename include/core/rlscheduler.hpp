@@ -30,6 +30,11 @@ struct RLSchedulerConfig {
   /// Rollout-collection / update threads (see RLSCHED_WORKERS). Trained
   /// models are bitwise identical for every worker count; 0 acts as 1.
   std::size_t n_workers = 1;
+  /// Inference batch width B (see RLSCHED_BATCH): windows per batched
+  /// policy forward in rollout collection and schedule_many(). Like
+  /// n_workers, bitwise irrelevant to every result — a pure throughput
+  /// knob; 0 acts as 1.
+  std::size_t batch = 8;
 };
 
 class RLScheduler {
@@ -52,6 +57,14 @@ class RLScheduler {
   /// Greedy-schedule on a foreign cluster size (generalization protocol).
   sim::RunResult schedule_on(const std::vector<trace::Job>& seq,
                              int processors, bool backfill) const;
+
+  /// Greedy-schedule many sequences with batched inference: up to
+  /// cfg.batch observation windows per policy forward (B x 128 job axis).
+  /// out[i] is bitwise identical to schedule_on(seqs[i], ...) — the
+  /// evaluation sweeps in the benches use this entry point.
+  std::vector<sim::RunResult> schedule_many(
+      const std::vector<std::vector<trace::Job>>& seqs, int processors,
+      bool backfill) const;
 
   /// Greedy-schedule a streamed source (archive-scale traces that never
   /// materialize — see trace::ShardedReader) on its own cluster size.

@@ -2,13 +2,29 @@
 // Cache-friendly neural-net primitives for the policy/value networks.
 // Everything operates on caller-owned flat float buffers — no tensors, no
 // allocation, no dispatch. Batched variants keep the job axis J contiguous
-// (struct-of-arrays), so the inner loops vectorize across pending jobs.
+// (struct-of-arrays), so the inner loops vectorize across pending jobs —
+// and J may span B stacked observation windows (B x 128 for the kernel
+// policy), which is how batched inference amortizes weight traffic.
+//
+// Determinism contract of the dense kernels:
+//  * forward and dA are elementwise along J — each output element depends
+//    only on its own column, accumulated in i (respectively o) order — so
+//    a batched call is trivially bitwise identical to per-window calls;
+//  * reductions along J (gW, gb) are ORDER-STABLE: one partial sum per
+//    window, added in window order, each partial computed with kSimdLanes
+//    lane accumulators over full lane blocks, the fixed pairwise lane tree,
+//    then the ragged tail sequentially (nn/simd.hpp). A batched backward is
+//    therefore bitwise identical to sequential single-window backwards —
+//    batch size can never leak into trained parameters. The lane width is
+//    a build constant (like -march), never a runtime knob.
 
 #include <array>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "nn/simd.hpp"
 
 namespace rlsched::nn {
 
@@ -17,71 +33,223 @@ namespace rlsched::nn {
 // W is (out x in) row-major, b is (out).
 // ---------------------------------------------------------------------------
 
+/// Register-tiled GEMV/GEMM microkernel: kRowBlock output rows x kTileVecs
+/// vector lanes of the job axis are accumulated entirely in registers, so
+/// each C element is written exactly once and each A element is loaded once
+/// per row block (the naive loop re-loads and re-stores the C row for every
+/// input — 3 memory ops per FMA — and that, not FLOPs, bounds the seed's
+/// decision latency). The per-ELEMENT arithmetic order is unchanged (bias
+/// first, inputs in ascending i, relu last), so the tiled kernel is bitwise
+/// identical to the naive reference whatever the tile shape.
+inline constexpr std::size_t kRowBlock = 4;   ///< output rows per microtile
+inline constexpr std::size_t kTileVecs = 2;   ///< vectors per j-microtile
+
+namespace detail {
+
+/// One row block over one j-range: `rows` <= kRowBlock output rows.
+template <std::size_t Rows>
+inline void dense_row_block(const float* __restrict W,
+                            const float* __restrict b,
+                            const float* __restrict A, float* __restrict C,
+                            std::size_t o0, std::size_t in, std::size_t J,
+                            bool relu) {
+  constexpr std::size_t tile = kTileVecs * kSimdLanes;
+  const std::size_t Jt = J - J % tile;
+  for (std::size_t jt = 0; jt < Jt; jt += tile) {
+    VecF acc[Rows][kTileVecs];
+    RLSCHED_UNROLL
+    for (std::size_t r = 0; r < Rows; ++r) {
+      const VecF vb = vsplat(b[o0 + r]);
+      RLSCHED_UNROLL
+      for (std::size_t t = 0; t < kTileVecs; ++t) acc[r][t] = vb;
+    }
+    for (std::size_t i = 0; i < in; ++i) {
+      const float* __restrict a = A + i * J + jt;
+      VecF av[kTileVecs];
+      RLSCHED_UNROLL
+      for (std::size_t t = 0; t < kTileVecs; ++t) {
+        av[t] = vload(a + t * kSimdLanes);
+      }
+      RLSCHED_UNROLL
+      for (std::size_t r = 0; r < Rows; ++r) {
+        const VecF vw = vsplat(W[(o0 + r) * in + i]);
+        RLSCHED_UNROLL
+        for (std::size_t t = 0; t < kTileVecs; ++t) {
+          acc[r][t] += vw * av[t];
+        }
+      }
+    }
+    RLSCHED_UNROLL
+    for (std::size_t r = 0; r < Rows; ++r) {
+      float* row = C + (o0 + r) * J + jt;
+      RLSCHED_UNROLL
+      for (std::size_t t = 0; t < kTileVecs; ++t) {
+        vstore(row + t * kSimdLanes,
+               relu ? vmax0(acc[r][t]) : acc[r][t]);
+      }
+    }
+  }
+  // Single-vector middle tier: batches narrower than a full microtile
+  // (e.g. a 8-12 column value-net chunk) must still vectorize.
+  std::size_t j = Jt;
+  for (; j + kSimdLanes <= J; j += kSimdLanes) {
+    VecF acc[Rows];
+    RLSCHED_UNROLL
+    for (std::size_t r = 0; r < Rows; ++r) acc[r] = vsplat(b[o0 + r]);
+    for (std::size_t i = 0; i < in; ++i) {
+      const VecF av = vload(A + i * J + j);
+      RLSCHED_UNROLL
+      for (std::size_t r = 0; r < Rows; ++r) {
+        acc[r] += vsplat(W[(o0 + r) * in + i]) * av;
+      }
+    }
+    RLSCHED_UNROLL
+    for (std::size_t r = 0; r < Rows; ++r) {
+      vstore(C + (o0 + r) * J + j, relu ? vmax0(acc[r]) : acc[r]);
+    }
+  }
+  // Ragged tail: same order, scalar accumulators.
+  for (; j < J; ++j) {
+    for (std::size_t r = 0; r < Rows; ++r) {
+      float s = b[o0 + r];
+      const float* w = W + (o0 + r) * in;
+      for (std::size_t i = 0; i < in; ++i) s += w[i] * A[i * J + j];
+      if (relu) s = s > 0.0f ? s : 0.0f;
+      C[(o0 + r) * J + j] = s;
+    }
+  }
+}
+
+}  // namespace detail
+
 inline void dense_batch_forward(const float* __restrict W,
                                 const float* __restrict b,
                                 const float* __restrict A,
                                 float* __restrict C, std::size_t out,
                                 std::size_t in, std::size_t J, bool relu) {
-  for (std::size_t o = 0; o < out; ++o) {
-    float* __restrict row = C + o * J;
-    const float bias = b[o];
-    for (std::size_t j = 0; j < J; ++j) row[j] = bias;
-    const float* __restrict w = W + o * in;
-    for (std::size_t i = 0; i < in; ++i) {
-      const float wv = w[i];
-      const float* __restrict a = A + i * J;
-      for (std::size_t j = 0; j < J; ++j) row[j] += wv * a[j];
-    }
-    if (relu) {
-      for (std::size_t j = 0; j < J; ++j) row[j] = row[j] > 0.0f ? row[j] : 0.0f;
-    }
+  std::size_t o = 0;
+  for (; o + kRowBlock <= out; o += kRowBlock) {
+    detail::dense_row_block<kRowBlock>(W, b, A, C, o, in, J, relu);
+  }
+  switch (out - o) {
+    case 3: detail::dense_row_block<3>(W, b, A, C, o, in, J, relu); break;
+    case 2: detail::dense_row_block<2>(W, b, A, C, o, in, J, relu); break;
+    case 1: detail::dense_row_block<1>(W, b, A, C, o, in, J, relu); break;
+    default: break;
   }
 }
 
-/// Backward of dense_batch_forward. `C` is the post-activation output and
-/// `dC` its incoming gradient (modified in place when relu). Accumulates
-/// into gW/gb; writes dA when non-null.
+/// Order-stable reduction of one window: lane accumulators over full lane
+/// blocks, fixed pairwise lane tree, ragged tail appended sequentially.
+inline float window_sum(const float* __restrict d, std::size_t n) {
+  VecF acc = vsplat(0.0f);
+  const std::size_t nv = n - n % kSimdLanes;
+  std::size_t j = 0;
+  for (; j < nv; j += kSimdLanes) acc += vload(d + j);
+  float s = lane_tree_sum(acc);
+  for (; j < n; ++j) s += d[j];
+  return s;
+}
+
+/// Order-stable dot product of one window (same lane order as window_sum).
+inline float window_dot(const float* __restrict d, const float* __restrict a,
+                        std::size_t n) {
+  VecF acc = vsplat(0.0f);
+  const std::size_t nv = n - n % kSimdLanes;
+  std::size_t j = 0;
+  for (; j < nv; j += kSimdLanes) acc += vload(d + j) * vload(a + j);
+  float s = lane_tree_sum(acc);
+  for (; j < n; ++j) s += d[j] * a[j];
+  return s;
+}
+
+/// Backward of dense_batch_forward, generalized to batched inputs. `C` is
+/// the post-activation output and `dC` its incoming gradient (modified in
+/// place when relu). Accumulates into gW/gb; writes dA when non-null.
+///
+/// The job axis may cover `J / window` stacked independent windows
+/// (`window` == 0 means one window spanning all of J; otherwise J must be
+/// a multiple of `window`). Per-parameter reductions form one order-stable
+/// partial per window and add partials in window order, so a batched call
+/// is bitwise identical to sequential single-window calls. `win_active`,
+/// when non-null, holds one byte per window: windows with 0 are skipped
+/// entirely — no gW/gb contribution, dA region untouched, dC ignored (the
+/// PPO update drops clip-saturated samples this way, exactly as the
+/// unbatched path skips their backward call).
 inline void dense_batch_backward(const float* __restrict W,
                                  const float* __restrict A,
                                  const float* __restrict C,
                                  float* __restrict dC, float* __restrict dA,
                                  float* __restrict gW, float* __restrict gb,
                                  std::size_t out, std::size_t in,
-                                 std::size_t J, bool relu) {
+                                 std::size_t J, bool relu,
+                                 std::size_t window = 0,
+                                 const std::uint8_t* win_active = nullptr) {
+  const std::size_t win = window == 0 ? J : window;
+  const std::size_t nwin = win == 0 ? 0 : J / win;
+  const std::size_t wv_blocks = win - win % kSimdLanes;
   if (relu) {
     for (std::size_t o = 0; o < out; ++o) {
       float* d = dC + o * J;
       const float* c = C + o * J;
-      for (std::size_t j = 0; j < J; ++j) {
-        if (c[j] <= 0.0f) d[j] = 0.0f;
+      for (std::size_t w = 0; w < nwin; ++w) {
+        if (win_active != nullptr && win_active[w] == 0) continue;
+        float* dw = d + w * win;
+        const float* cw = c + w * win;
+        std::size_t j = 0;
+        for (; j < wv_blocks; j += kSimdLanes) {
+          vstore(dw + j, vmask_relu(vload(cw + j), vload(dw + j)));
+        }
+        for (; j < win; ++j) {
+          if (cw[j] <= 0.0f) dw[j] = 0.0f;
+        }
       }
     }
   }
   for (std::size_t o = 0; o < out; ++o) {
     const float* d = dC + o * J;
-    float acc = 0.0f;
-    for (std::size_t j = 0; j < J; ++j) acc += d[j];
-    gb[o] += acc;
+    for (std::size_t w = 0; w < nwin; ++w) {
+      if (win_active != nullptr && win_active[w] == 0) continue;
+      gb[o] += window_sum(d + w * win, win);
+    }
     float* gw = gW + o * in;
     for (std::size_t i = 0; i < in; ++i) {
       const float* a = A + i * J;
-      float s = 0.0f;
-      for (std::size_t j = 0; j < J; ++j) s += d[j] * a[j];
-      gw[i] += s;
+      for (std::size_t w = 0; w < nwin; ++w) {
+        if (win_active != nullptr && win_active[w] == 0) continue;
+        gw[i] += window_dot(d + w * win, a + w * win, win);
+      }
     }
   }
   if (dA != nullptr) {
     for (std::size_t i = 0; i < in; ++i) {
       float* da = dA + i * J;
-      for (std::size_t j = 0; j < J; ++j) da[j] = 0.0f;
+      for (std::size_t w = 0; w < nwin; ++w) {
+        if (win_active != nullptr && win_active[w] == 0) continue;
+        float* daw = da + w * win;
+        const VecF vz = vsplat(0.0f);
+        std::size_t j = 0;
+        for (; j < wv_blocks; j += kSimdLanes) vstore(daw + j, vz);
+        for (; j < win; ++j) daw[j] = 0.0f;
+      }
     }
     for (std::size_t o = 0; o < out; ++o) {
       const float* d = dC + o * J;
-      const float* w = W + o * in;
+      const float* w_row = W + o * in;
       for (std::size_t i = 0; i < in; ++i) {
         float* da = dA + i * J;
-        const float wv = w[i];
-        for (std::size_t j = 0; j < J; ++j) da[j] += wv * d[j];
+        const float wv = w_row[i];
+        const VecF vw = vsplat(wv);
+        for (std::size_t w = 0; w < nwin; ++w) {
+          if (win_active != nullptr && win_active[w] == 0) continue;
+          float* daw = da + w * win;
+          const float* dw = d + w * win;
+          std::size_t j = 0;
+          for (; j < wv_blocks; j += kSimdLanes) {
+            vstore(daw + j, vload(daw + j) + vw * vload(dw + j));
+          }
+          for (; j < win; ++j) daw[j] += wv * dw[j];
+        }
       }
     }
   }

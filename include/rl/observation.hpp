@@ -39,6 +39,10 @@ class ObservationBuilder {
   /// Snapshot the env's observable window. Returns by value (arrays only —
   /// no heap traffic); padding slots are zeroed and masked out.
   Observation build(const sim::SchedulingEnv& env) const;
+
+  /// Snapshot directly into caller-owned storage (e.g. a rollout slot or a
+  /// batch-packing loop) — same result as build(), one copy fewer.
+  void build_into(const sim::SchedulingEnv& env, Observation& out) const;
 };
 
 }  // namespace rlsched::rl

@@ -5,6 +5,8 @@
 // LeNet-style convolutional head. All parameters live in one flat float
 // vector; logits() and backward() never allocate after construction.
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +33,43 @@ class Policy {
   /// same observation (the PPO update loop does).
   virtual void backward(const Observation& obs, const Logits& dlogits,
                         float* gparams) const = 0;
+
+  /// Score `n` stacked observation windows in ONE forward pass. `out` is
+  /// window-major: the logits of window k land at
+  /// out[k * kMaxObservable + j]. Row k is bitwise identical to
+  /// logits(*obs[k]) — batching can never change a decision. The kernel
+  /// policy overrides this with a true B x 128 GEMV (job axis J spans the
+  /// whole batch); the MLP baselines batch along the sample axis; the
+  /// default loops logits(). Batch scratch grows to the largest n ever
+  /// seen, then is reused — the steady-state loop performs no allocation.
+  virtual void logits_batch(const Observation* const* obs, std::size_t n,
+                            float* out) const;
+
+  /// Prewarm batch scratch for up to `n` windows so subsequent batched
+  /// calls never allocate (zero-alloc loops size everything up front; the
+  /// default no-op suits policies whose fallback batched path has no batch
+  /// scratch).
+  virtual void reserve_batch(std::size_t n) const { (void)n; }
+
+  /// True when backward_batch() reuses the activations of the most recent
+  /// logits_batch() instead of recomputing per window. The PPO update takes
+  /// its batched-chunk path only for such policies; the others keep the
+  /// original per-sample pairing (no hidden extra forwards).
+  virtual bool supports_batched_update() const { return false; }
+
+  /// Accumulate gradients for the batch scored by the MOST RECENT
+  /// logits_batch() on the same (obs, n). `dlogits` is window-major like
+  /// logits_batch()'s output. Windows with win_active[k] == 0 (when
+  /// non-null) contribute nothing — bitwise identical to skipping their
+  /// backward() call, which is how the PPO update drops clip-saturated
+  /// samples. Gradient reductions are order-stable per window (window
+  /// order, lane-stratified within — see nn/ops.hpp), so the accumulated
+  /// gradient is bitwise identical to sequential per-window backward()
+  /// calls: batch size never leaks into trained parameters.
+  virtual void backward_batch(const Observation* const* obs, std::size_t n,
+                              const float* dlogits,
+                              const std::uint8_t* win_active,
+                              float* gparams) const;
 
   virtual PolicyKind kind() const = 0;
 

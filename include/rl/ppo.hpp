@@ -41,6 +41,8 @@
 
 namespace rlsched::rl {
 
+class BatchedEvaluator;
+
 struct PPOConfig {
   sim::Metric metric = sim::Metric::BoundedSlowdown;
   PolicyKind policy = PolicyKind::Kernel;
@@ -59,6 +61,13 @@ struct PPOConfig {
   /// Rollout/update threads (RLSCHED_WORKERS). Results are bitwise
   /// identical for every value; 0 is treated as 1.
   std::size_t n_workers = 1;
+  /// Inference batch width B (RLSCHED_BATCH): rollout collection advances
+  /// up to B trajectories in lockstep per worker and scores their windows
+  /// in ONE policy forward (job axis B x 128); evaluate_batch() groups
+  /// sequences the same way. Bitwise identical results for every value —
+  /// like n_workers, B is a throughput knob, never a semantics knob — so
+  /// it is not part of the model cache key. 0 is treated as 1.
+  std::size_t batch = 8;
 
   float pi_lr = 3e-4f;
   float v_lr = 1e-3f;
@@ -101,6 +110,14 @@ class PPOTrainer {
                                  bool backfill,
                                  std::size_t chunk_jobs = 4096) const;
 
+  /// Batched greedy rollouts: schedules the sequences in lockstep groups
+  /// of cfg.batch, scoring up to batch observation windows per policy
+  /// forward. out[i] is bitwise identical to evaluate(seqs[i], ...) — the
+  /// evaluation sweeps in the benches go through this path.
+  std::vector<sim::RunResult> evaluate_batch(
+      const std::vector<std::vector<trace::Job>>& seqs, int processors,
+      bool backfill) const;
+
   const Policy& policy() const { return *policy_; }
   Policy& policy() { return *policy_; }
   const PPOConfig& config() const { return cfg_; }
@@ -134,7 +151,11 @@ class PPOTrainer {
   static constexpr std::size_t kGradChunk = 64;
 
   void collect_trajectories();
-  void collect_one(std::size_t traj, std::uint64_t round, Worker& w);
+  /// Lockstep-collect the trajectories of group `g` (global indices
+  /// [g*batch, g*batch + nb)): every decision step batches the live lanes'
+  /// windows into one policy forward and one value forward. Per-lane RNG
+  /// substreams keep the result bitwise identical for every batch width.
+  void collect_group(std::size_t group, std::uint64_t round, Worker& w);
   void sync_worker_policies();
   void reset_perm();
   void compute_advantages();
@@ -144,10 +165,14 @@ class PPOTrainer {
 
   trace::Trace trace_;
   PPOConfig cfg_;
+  std::size_t batch_ = 1;  ///< cfg.batch with 0 clamped to 1
   util::Rng rng_;
   ObservationBuilder builder_;
 
   std::unique_ptr<Policy> policy_;
+  /// Lazily built on the first evaluate_batch() and reused: its env pool
+  /// and batch slabs persist, so repeated sweeps stop allocating.
+  mutable std::unique_ptr<BatchedEvaluator> evaluator_;
   nn::FlatMlp value_net_;
   std::vector<float> value_params_;
   nn::Adam pi_opt_, v_opt_;

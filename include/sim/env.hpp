@@ -109,6 +109,20 @@ class SchedulingEnv {
  public:
   explicit SchedulingEnv(int processors, EnvConfig cfg = {});
 
+  /// Swap in a new cluster size / config before the next reset(). Lets the
+  /// batched evaluator pool env instances across evaluate() calls that
+  /// target different cluster sizes instead of reconstructing them (all
+  /// reserved capacity survives). Only valid between episodes — state from
+  /// a running episode is discarded by the next reset() anyway.
+  void reconfigure(int processors, EnvConfig cfg) {
+    processors_ = processors;
+    free_ = processors;
+    cfg_ = cfg;
+    if (cfg_.max_observable == 0 || cfg_.max_observable > kMaxObservable) {
+      cfg_.max_observable = kMaxObservable;
+    }
+  }
+
   /// Load a job sequence and advance to the first arrival. Allocation
   /// happens here (and only here): every container reserves for the whole
   /// episode.

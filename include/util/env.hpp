@@ -33,4 +33,20 @@ std::string env_string(const char* name, const std::string& fallback);
 /// oversubscribe a laptop.
 std::size_t env_workers(const char* name, std::size_t fallback = 1);
 
+/// Documented ceiling for RLSCHED_BATCH: 256 stacked 128-job windows is
+/// already a ~100 KB observation slab per forward — wider batches only add
+/// cache pressure, and a runaway value (e.g. RLSCHED_BATCH=1e9 through a
+/// scripting bug) must not OOM the bench host.
+inline constexpr std::size_t kMaxBatchWindows = 256;
+
+/// Parse `name` as an inference batch width (RLSCHED_BATCH): observation
+/// windows scored per batched policy forward. Validated exactly like
+/// env_workers: unset or empty returns `fallback`; garbage, zero, or
+/// negative values are REJECTED back to `fallback` with a warning (a batch
+/// of 0 windows is never meaningful); values above kMaxBatchWindows clamp
+/// down to it. Batch width is bitwise-irrelevant to results — it only
+/// moves throughput — so misconfiguration can never skew a benchmark, but
+/// it is still reported.
+std::size_t env_batch(const char* name, std::size_t fallback = 8);
+
 }  // namespace rlsched::util

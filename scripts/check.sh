@@ -3,7 +3,7 @@
 # ctest) plus the Table IX cost benchmark as a compile-and-run smoke test of
 # the perf-critical path.
 #
-# Usage: scripts/check.sh [--sanitize[=LIST]] [--coverage] [build-dir]
+# Usage: scripts/check.sh [--sanitize[=LIST]] [--coverage] [--perf] [build-dir]
 #
 #   --sanitize            shorthand for --sanitize=address,undefined
 #   --sanitize=LIST       instrument with -fsanitize=LIST; LIST=thread runs
@@ -13,6 +13,13 @@
 #                         a per-file + total line-coverage summary (llvm-cov
 #                         for clang builds, gcov for gcc); defaults the
 #                         build type to Debug and skips the perf smoke
+#   --perf                build Release and run the batched-inference perf
+#                         gate: bench_batch_inference --json compared
+#                         against bench/baseline.json by scripts/perf_gate.py
+#                         (+-25% tolerance on batching speedups, 2x hard
+#                         floor at B=32 vs B=1) — the same gate the hosted
+#                         `perf` CI job runs. Skips ctest (the matrix jobs
+#                         own correctness).
 #   build-dir             defaults to ./build (or ./build-<sanitizers>,
 #                         ./build-coverage)
 #
@@ -38,14 +45,16 @@ trap 'printf "%sFAILED during: %s%s\n" "$RED" "$CURRENT_STEP" "$RESET" >&2' ERR
 
 SANITIZE=""
 COVERAGE=""
+PERF=""
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE="address,undefined" ;;
     --sanitize=*) SANITIZE="${arg#--sanitize=}" ;;
     --coverage) COVERAGE=1 ;;
+    --perf) PERF=1 ;;
     -h|--help)
-      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     -*)
@@ -66,8 +75,22 @@ if [ -z "$BUILD_DIR" ]; then
     BUILD_DIR="build"
   fi
 fi
+if [ -n "$PERF" ]; then
+  # Perf numbers from an instrumented or un-optimized build are noise.
+  if [ -n "$SANITIZE" ] || [ -n "$COVERAGE" ]; then
+    printf '%s--perf cannot combine with --sanitize/--coverage%s\n' \
+      "$RED" "$RESET" >&2
+    exit 2
+  fi
+  CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+fi
 
 CMAKE_ARGS=(-DRLSCHED_SANITIZE="$SANITIZE")
+if [ -n "${RLSCHED_SIMD:-}" ]; then
+  # Lane-width override (1 = scalar fallback); one CI matrix cell builds
+  # with RLSCHED_SIMD=1 so the fallback kernels stay exercised.
+  CMAKE_ARGS+=(-DRLSCHED_SIMD="$RLSCHED_SIMD")
+fi
 if [ -n "$COVERAGE" ]; then
   CMAKE_ARGS+=(-DRLSCHED_COVERAGE=ON)
   # Coverage numbers on optimized code blame the wrong lines; default to
@@ -101,6 +124,20 @@ if [ -n "$COVERAGE" ]; then
     # rebuild, stamp-mismatch against) this run's data — start clean.
     find "$BUILD_DIR" -name '*.gcda' -delete
   fi
+fi
+
+if [ -n "$PERF" ]; then
+  step "batched-inference perf gate (bench/baseline.json, +-25% on speedups)"
+  command -v python3 >/dev/null || {
+    printf '%spython3 is required for the perf gate%s\n' "$RED" "$RESET" >&2
+    exit 1
+  }
+  "$BUILD_DIR/bench/bench_batch_inference" --json \
+    > "$BUILD_DIR/bench_batch_inference.json"
+  python3 scripts/perf_gate.py bench/baseline.json \
+    "$BUILD_DIR/bench_batch_inference.json" --tolerance 0.25
+  printf '%s== perf gate passed ==%s\n' "$GREEN" "$RESET"
+  exit 0
 fi
 
 step "ctest"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_batch_inference (the CI `perf` job).
+
+Usage: perf_gate.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Two kinds of checks, deliberately different in strictness:
+
+* Batching SPEEDUP RATIOS (b8/b1, b32/b1 per metric) are compared against
+  the checked-in baseline with the given tolerance and FAIL the gate when
+  they regress below baseline * (1 - tolerance). Ratios divide out the
+  host's absolute speed, so they are meaningful on any runner generation.
+
+* ABSOLUTE decisions/sec are reported, and a drop below the same tolerance
+  band only WARNS: hosted CI machines legitimately differ by more than any
+  useful tolerance, and a hard absolute gate would be pure flakiness.
+
+* HARD FLOORS, host-independent by construction (the ISSUE's acceptance
+  criterion): batched inference must deliver >= 2x decisions/sec at B=32
+  vs B=1 on the weight-bound evaluation sweep (eval_mlp) and on the
+  trainer's rollout decision point (rollout_kernel). The kernel-policy
+  evaluation sweep is exempt from the floor — its network is already
+  batched over the 128-job window internally, so its honest curve is flat
+  (gated only against ratio regression) — but batching must never cost it
+  more than the tolerance either.
+
+Exit status: 0 = gate passed, 1 = regression or floor violation.
+"""
+
+import json
+import sys
+
+FLOOR_METRICS = {"eval_mlp": 2.0, "rollout_kernel": 2.0}
+RATIOS = [("b8", "b1"), ("b32", "b1")]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    tolerance = 0.25
+    if "--tolerance" in argv:
+        tolerance = float(argv[argv.index("--tolerance") + 1])
+    with open(argv[1]) as f:
+        baseline_doc = json.load(f)
+    with open(argv[2]) as f:
+        current_doc = json.load(f)
+
+    # A scalar-fallback build or a resized pool produces numbers the
+    # baseline was never recorded for — say so instead of failing with
+    # confusing ratios.
+    for field in ("simd_lanes", "pool_windows"):
+        if baseline_doc.get(field) != current_doc.get(field):
+            return fail(
+                f"bench config mismatch: {field} is "
+                f"{current_doc.get(field)} here but the baseline was "
+                f"recorded at {baseline_doc.get(field)} — refresh "
+                f"bench/baseline.json for this build configuration")
+
+    baseline = baseline_doc["metrics"]
+    current = current_doc["metrics"]
+
+    failures = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures += fail(f"metric '{name}' missing from current run")
+            continue
+
+        for hi, lo in RATIOS:
+            base_ratio = base[hi] / base[lo]
+            cur_ratio = cur[hi] / cur[lo]
+            floor = base_ratio * (1.0 - tolerance)
+            status = "ok" if cur_ratio >= floor else "FAIL"
+            print(f"{name:16s} {hi}/{lo} speedup {cur_ratio:7.2f}x "
+                  f"(baseline {base_ratio:.2f}x, gate >= {floor:.2f}x) "
+                  f"{status}")
+            if cur_ratio < floor:
+                failures += fail(
+                    f"{name} {hi}/{lo} batching speedup regressed: "
+                    f"{cur_ratio:.2f}x < {floor:.2f}x")
+
+        for b in ("b1", "b8", "b32"):
+            if cur[b] < base[b] * (1.0 - tolerance):
+                print(f"WARN: {name} {b} absolute throughput "
+                      f"{cur[b]:.0f}/s is {cur[b] / base[b]:.2f}x the "
+                      f"baseline {base[b]:.0f}/s (host difference or real "
+                      f"regression — ratios above are the gate)")
+
+        floor = FLOOR_METRICS.get(name)
+        if floor is not None:
+            got = cur["b32"] / cur["b1"]
+            status = "ok" if got >= floor else "FAIL"
+            print(f"{name:16s} hard floor: B=32 vs B=1 {got:7.2f}x "
+                  f"(required >= {floor:.1f}x) {status}")
+            if got < floor:
+                failures += fail(
+                    f"{name} batched inference floor violated: "
+                    f"{got:.2f}x < {floor:.1f}x at B=32 vs B=1")
+
+    if failures:
+        print(f"perf gate: {failures} failure(s)")
+        return 1
+    print("perf gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

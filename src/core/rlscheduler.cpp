@@ -16,6 +16,7 @@ rl::PPOConfig to_ppo_config(const RLSchedulerConfig& cfg) {
   p.minibatch = cfg.minibatch;
   p.seed = cfg.seed;
   p.n_workers = cfg.n_workers;
+  p.batch = cfg.batch;
   return p;
 }
 }  // namespace
@@ -48,6 +49,12 @@ sim::RunResult RLScheduler::schedule(const std::vector<trace::Job>& seq,
 sim::RunResult RLScheduler::schedule_on(const std::vector<trace::Job>& seq,
                                         int processors, bool backfill) const {
   return trainer_->evaluate(seq, processors, backfill);
+}
+
+std::vector<sim::RunResult> RLScheduler::schedule_many(
+    const std::vector<std::vector<trace::Job>>& seqs, int processors,
+    bool backfill) const {
+  return trainer_->evaluate_batch(seqs, processors, backfill);
 }
 
 sim::RunResult RLScheduler::schedule_stream(trace::JobSource& source,

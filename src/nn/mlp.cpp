@@ -6,17 +6,23 @@
 namespace rlsched::nn {
 
 FlatMlp::FlatMlp(std::vector<std::size_t> sizes) : sizes_(std::move(sizes)) {
-  std::size_t act_total = 0;
   for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
     w_off_.push_back(param_count_);
     param_count_ += sizes_[l] * sizes_[l + 1];
     b_off_.push_back(param_count_);
     param_count_ += sizes_[l + 1];
-    act_off_.push_back(act_total);
-    act_total += sizes_[l + 1];
+    act_off_.push_back(act_total_);
+    act_total_ += sizes_[l + 1];
   }
-  act_.resize(act_total);
-  dact_.resize(act_total);
+  act_.resize(act_total_);
+  dact_.resize(act_total_);
+}
+
+void FlatMlp::ensure_batch(std::size_t n) const {
+  if (n <= batch_cap_) return;
+  batch_cap_ = n;
+  act_.resize(act_total_ * n);
+  dact_.resize(act_total_ * n);
 }
 
 void FlatMlp::init(float* params, util::Rng& rng, float out_scale) const {
@@ -36,12 +42,18 @@ void FlatMlp::init(float* params, util::Rng& rng, float out_scale) const {
 }
 
 const float* FlatMlp::forward(const float* params, const float* x) const {
+  return forward_batch(params, x, 1);
+}
+
+const float* FlatMlp::forward_batch(const float* params, const float* X,
+                                    std::size_t n) const {
+  ensure_batch(n);
   const std::size_t layers = sizes_.size() - 1;
-  const float* in = x;
+  const float* in = X;
   for (std::size_t l = 0; l < layers; ++l) {
-    float* out = act_.data() + act_off_[l];
+    float* out = act_.data() + act_off_[l] * batch_cap_;
     dense_batch_forward(params + w_off_[l], params + b_off_[l], in, out,
-                        sizes_[l + 1], sizes_[l], 1,
+                        sizes_[l + 1], sizes_[l], n,
                         /*relu=*/l + 1 < layers);
     in = out;
   }
@@ -51,18 +63,28 @@ const float* FlatMlp::forward(const float* params, const float* x) const {
 void FlatMlp::backward(const float* params, const float* x, const float* dout,
                        float* gparams, float* dx, bool recompute) const {
   if (recompute) forward(params, x);  // else trust act_ from forward()
+  backward_batch(params, x, dout, gparams, 1, 0, nullptr, dx);
+}
+
+void FlatMlp::backward_batch(const float* params, const float* X,
+                             const float* dOut, float* gparams, std::size_t n,
+                             std::size_t window,
+                             const std::uint8_t* win_active,
+                             float* dX) const {
+  ensure_batch(n);
   const std::size_t layers = sizes_.size() - 1;
-  std::memcpy(dact_.data() + act_off_[layers - 1], dout,
-              sizes_.back() * sizeof(float));
+  std::memcpy(dact_.data() + act_off_[layers - 1] * batch_cap_, dOut,
+              sizes_.back() * n * sizeof(float));
   for (std::size_t l = layers; l-- > 0;) {
-    const float* a_in = l == 0 ? x : act_.data() + act_off_[l - 1];
-    float* d_out = dact_.data() + act_off_[l];
-    float* d_in = l == 0 ? dx : dact_.data() + act_off_[l - 1];
+    const float* a_in =
+        l == 0 ? X : act_.data() + act_off_[l - 1] * batch_cap_;
+    float* d_out = dact_.data() + act_off_[l] * batch_cap_;
+    float* d_in = l == 0 ? dX : dact_.data() + act_off_[l - 1] * batch_cap_;
     dense_batch_backward(params + w_off_[l], a_in,
-                         act_.data() + act_off_[l], d_out, d_in,
+                         act_.data() + act_off_[l] * batch_cap_, d_out, d_in,
                          gparams + w_off_[l], gparams + b_off_[l],
-                         sizes_[l + 1], sizes_[l], 1,
-                         /*relu=*/l + 1 < layers);
+                         sizes_[l + 1], sizes_[l], n,
+                         /*relu=*/l + 1 < layers, window, win_active);
   }
 }
 

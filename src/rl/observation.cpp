@@ -6,6 +6,12 @@ namespace rlsched::rl {
 
 Observation ObservationBuilder::build(const sim::SchedulingEnv& env) const {
   Observation obs;
+  build_into(env, obs);
+  return obs;
+}
+
+void ObservationBuilder::build_into(const sim::SchedulingEnv& env,
+                                    Observation& obs) const {
   obs.features.fill(0.0f);
   obs.mask.fill(0);
 
@@ -37,7 +43,6 @@ Observation ObservationBuilder::build(const sim::SchedulingEnv& env) const {
     f5[j] = 1.0f;
     obs.mask[j] = 1;
   }
-  return obs;
 }
 
 }  // namespace rlsched::rl

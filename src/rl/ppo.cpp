@@ -7,6 +7,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "rl/batch_eval.hpp"
+
 namespace rlsched::rl {
 
 namespace {
@@ -25,28 +27,64 @@ std::vector<std::size_t> value_net_sizes() {
 }  // namespace
 
 struct PPOTrainer::Worker {
-  sim::SchedulingEnv env;
+  // One lockstep LANE per batch slot: collection advances up to `batch`
+  // trajectories together, so each lane owns an env, a sequence scratch,
+  // and an RNG slot (re-seeded per trajectory from its substream).
+  std::vector<sim::SchedulingEnv> envs;
+  std::vector<std::vector<trace::Job>> seqs;
+  std::vector<util::Rng> rngs;
+  std::vector<std::uint32_t> alive;  ///< live lane indices, lane order
+
   std::unique_ptr<Policy> policy;  ///< clone: owns activation scratch
   nn::FlatMlp value_net;           ///< scratch only; params stay shared
   ObservationBuilder builder;
-  std::vector<float> probs;
-  std::vector<trace::Job> seq;  ///< sequence scratch, reused per rollout
+
+  // Batch scratch shared by collection (n <= batch lanes) and the update
+  // chunks (n <= kGradChunk samples); sized once for the larger of the two.
+  std::vector<const Observation*> obs_ptr;
+  std::vector<float> logits;          ///< n x kMaxObservable, window-major
+  std::vector<float> probs;           ///< one window, reused per sample
+  std::vector<float> dlogits;         ///< chunk x kMaxObservable
+  std::vector<std::uint8_t> active;   ///< per-chunk-sample clip mask
+  std::vector<float> vx;              ///< value-net SoA pack (in x n)
+  std::vector<float> vdout;           ///< value-net dOut (1 x n)
 
   Worker(int processors, const sim::EnvConfig& env_cfg, PolicyKind kind,
-         std::size_t seq_len)
-      : env(processors, env_cfg), value_net(value_net_sizes()) {
+         std::size_t seq_len, std::size_t batch, std::size_t chunk)
+      : value_net(value_net_sizes()) {
     // The clone's random init is irrelevant — parameters are overwritten
     // from the canonical policy before every fan-out.
     util::Rng init_rng(1);
     policy = make_policy(kind, kMaxObservable, init_rng);
+    envs.reserve(batch);
+    for (std::size_t k = 0; k < batch; ++k) {
+      envs.emplace_back(processors, env_cfg);
+    }
+    seqs.resize(batch);
+    for (auto& s : seqs) s.reserve(seq_len);
+    rngs.assign(batch, util::Rng(0));
+    alive.reserve(batch);
+    const std::size_t nmax = std::max(batch, chunk);
+    // Size every batch scratch NOW: growth on first use would depend on
+    // which worker happens to draw the first full-size batch — an
+    // allocation an epoch (or three) after warmup, which the zero-alloc
+    // gates rightly reject.
+    policy->reserve_batch(nmax);
+    value_net.reserve_batch(nmax);
+    obs_ptr.resize(nmax);
+    logits.resize(nmax * kMaxObservable);
     probs.resize(kMaxObservable);
-    seq.reserve(seq_len);
+    dlogits.resize(chunk * kMaxObservable);
+    active.resize(chunk);
+    vx.resize(kJobFeatures * kMaxObservable * nmax);
+    vdout.resize(nmax);
   }
 };
 
 PPOTrainer::PPOTrainer(const trace::Trace& trace, PPOConfig cfg)
     : trace_(trace),
       cfg_(cfg),
+      batch_(cfg.batch == 0 ? 1 : cfg.batch),
       rng_(cfg.seed * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15ULL),
       policy_(make_policy(cfg.policy, kMaxObservable, rng_)),
       value_net_(value_net_sizes()),
@@ -59,11 +97,16 @@ PPOTrainer::PPOTrainer(const trace::Trace& trace, PPOConfig cfg)
   if (cfg_.n_workers == 0) cfg_.n_workers = 1;
   value_net_.init(value_params_.data(), rng_, 1.0f);
 
+  // Collection never runs more lockstep lanes than there are trajectories
+  // (the extra lanes would idle); evaluate_batch() still uses the full
+  // requested width via its own evaluator.
+  const std::size_t lanes = std::min(batch_, cfg_.trajectories_per_epoch);
   const sim::EnvConfig env_cfg{cfg_.backfill, kMaxObservable};
   workers_.reserve(cfg_.n_workers);
   for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
     workers_.push_back(std::make_unique<Worker>(
-        trace.processors(), env_cfg, cfg_.policy, cfg_.seq_len));
+        trace.processors(), env_cfg, cfg_.policy, cfg_.seq_len, lanes,
+        kGradChunk));
   }
 
   slots_.resize(cfg_.trajectories_per_epoch);
@@ -106,54 +149,96 @@ void PPOTrainer::sync_worker_policies() {
   }
 }
 
-void PPOTrainer::collect_one(std::size_t traj, std::uint64_t round,
-                             Worker& w) {
-  RolloutBuffer& buf = slots_[traj];
-  buf.clear();
+void PPOTrainer::collect_group(std::size_t group, std::uint64_t round,
+                               Worker& w) {
+  const std::size_t lanes = w.envs.size();
+  const std::size_t t0 = group * lanes;
+  const std::size_t nb =
+      std::min(lanes, cfg_.trajectories_per_epoch - t0);
+  constexpr std::size_t obs_floats = kJobFeatures * kMaxObservable;
 
-  // All randomness of this trajectory comes from a substream keyed by the
-  // trajectory's global index — identical no matter which worker runs it.
-  util::Rng rng = util::Rng::substream(
-      cfg_.seed, round * cfg_.trajectories_per_epoch + traj);
+  w.alive.clear();
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t traj = t0 + k;
+    RolloutBuffer& buf = slots_[traj];
+    buf.clear();
+    // All randomness of a trajectory comes from a substream keyed by its
+    // global index — identical no matter which worker ran it or how many
+    // lanes advanced in lockstep beside it.
+    w.rngs[k] = util::Rng::substream(
+        cfg_.seed, round * cfg_.trajectories_per_epoch + traj);
+    if (cfg_.trajectory_filtering) {
+      for (std::size_t attempt = 0; attempt < kMaxFilterAttempts;
+           ++attempt) {
+        trace_.sample_sequence_into(w.rngs[k], cfg_.seq_len, w.seqs[k]);
+        if (filter_range_.contains(
+                sjf_metric(w.seqs[k], trace_.processors(), cfg_.metric))) {
+          break;
+        }
+      }
+    } else {
+      trace_.sample_sequence_into(w.rngs[k], cfg_.seq_len, w.seqs[k]);
+    }
+    w.envs[k].reset(w.seqs[k]);
+    if (!w.envs[k].done()) {
+      w.alive.push_back(static_cast<std::uint32_t>(k));
+    } else {
+      const sim::RunResult result = w.envs[k].result();
+      buf.reward = static_cast<float>(reward_of(result));
+      buf.metric = result.value(cfg_.metric);
+    }
+  }
 
-  if (cfg_.trajectory_filtering) {
-    for (std::size_t attempt = 0; attempt < kMaxFilterAttempts; ++attempt) {
-      trace_.sample_sequence_into(rng, cfg_.seq_len, w.seq);
-      if (filter_range_.contains(
-              sjf_metric(w.seq, trace_.processors(), cfg_.metric))) {
-        break;
+  // Lockstep loop: ONE batched policy forward and ONE batched value
+  // forward score every live lane's window; per-lane sampling then uses
+  // the lane's own RNG, so the stored trajectories are bitwise identical
+  // to the lanes running one at a time.
+  while (!w.alive.empty()) {
+    const std::size_t n = w.alive.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      RolloutBuffer& buf = slots_[t0 + w.alive[i]];
+      buf.obs.emplace_back();
+      w.builder.build_into(w.envs[w.alive[i]], buf.obs.back());
+      w.obs_ptr[i] = &buf.obs.back();
+    }
+    w.policy->logits_batch(w.obs_ptr.data(), n, w.logits.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* f = w.obs_ptr[i]->features.data();
+      for (std::size_t x = 0; x < obs_floats; ++x) w.vx[x * n + i] = f[x];
+    }
+    const float* vals =
+        w.value_net.forward_batch(value_params_.data(), w.vx.data(), n);
+
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = w.alive[i];
+      RolloutBuffer& buf = slots_[t0 + k];
+      const Observation& obs = *w.obs_ptr[i];
+      nn::softmax_masked(w.logits.data() + i * kMaxObservable,
+                         obs.mask.data(), w.probs.data(), kMaxObservable);
+      // Sample from the masked categorical.
+      double u = w.rngs[k].uniform();
+      std::size_t a = 0;
+      for (std::size_t s = 0; s < kMaxObservable; ++s) {
+        if (obs.mask[s] == 0) continue;
+        a = s;
+        u -= w.probs[s];
+        if (u <= 0.0) break;
+      }
+      buf.act.push_back(static_cast<std::uint32_t>(a));
+      buf.logp.push_back(std::log(std::max(w.probs[a], 1e-10f)));
+      buf.val.push_back(vals[i]);
+      w.envs[k].step(a);
+      if (!w.envs[k].done()) {
+        w.alive[keep++] = static_cast<std::uint32_t>(k);
+      } else {
+        const sim::RunResult result = w.envs[k].result();
+        buf.reward = static_cast<float>(reward_of(result));
+        buf.metric = result.value(cfg_.metric);
       }
     }
-  } else {
-    trace_.sample_sequence_into(rng, cfg_.seq_len, w.seq);
+    w.alive.resize(keep);
   }
-
-  w.env.reset(w.seq);
-  while (!w.env.done()) {
-    const Observation obs = w.builder.build(w.env);
-    const Logits logits = w.policy->logits(obs);
-    nn::softmax_masked(logits.data(), obs.mask.data(), w.probs.data(),
-                       kMaxObservable);
-    // Sample from the masked categorical.
-    double u = rng.uniform();
-    std::size_t a = 0;
-    for (std::size_t i = 0; i < kMaxObservable; ++i) {
-      if (obs.mask[i] == 0) continue;
-      a = i;
-      u -= w.probs[i];
-      if (u <= 0.0) break;
-    }
-    const float v = *w.value_net.forward(value_params_.data(),
-                                         obs.features.data());
-    buf.obs.push_back(obs);
-    buf.act.push_back(static_cast<std::uint32_t>(a));
-    buf.logp.push_back(std::log(std::max(w.probs[a], 1e-10f)));
-    buf.val.push_back(v);
-    w.env.step(a);
-  }
-  const sim::RunResult result = w.env.result();
-  buf.reward = static_cast<float>(reward_of(result));
-  buf.metric = result.value(cfg_.metric);
 }
 
 void PPOTrainer::collect_trajectories() {
@@ -179,11 +264,16 @@ void PPOTrainer::collect_trajectories() {
 
   sync_worker_policies();
   const std::uint64_t round = collect_round_++;
-  pool_.for_each_index(
-      cfg_.trajectories_per_epoch,
-      [&](std::size_t t, std::size_t wid) {
-        collect_one(t, round, *workers_[wid]);
-      });
+  // Fan out GROUPS of lockstep lanes: group g covers trajectories
+  // [g*lanes, g*lanes + lanes). Group boundaries depend only on the batch
+  // width, and every per-trajectory result is substream-keyed, so any
+  // worker may run any group.
+  const std::size_t lanes = workers_.front()->envs.size();
+  const std::size_t ngroups =
+      (cfg_.trajectories_per_epoch + lanes - 1) / lanes;
+  pool_.for_each_index(ngroups, [&](std::size_t g, std::size_t wid) {
+    collect_group(g, round, *workers_[wid]);
+  });
 
   // Deterministic merge: flatten slots in trajectory-index order. The small
   // per-step scalars are copied; observations stay in their slots (they are
@@ -276,37 +366,77 @@ void PPOTrainer::update_policy() {
 
       // Parameters moved in the previous Adam step — refresh the clones.
       sync_worker_policies();
+      const bool batched = policy_->supports_batched_update();
       pool_.for_each_index(nchunks, [&](std::size_t ci, std::size_t wid) {
         Worker& w = *workers_[wid];
         float* g = chunk_grad_[ci].data();
         std::fill_n(g, np, 0.0f);
         double kl = 0.0;
-        Logits dlogits;
         const std::size_t cb = start + ci * kGradChunk;
         const std::size_t ce = std::min(cb + kGradChunk, stop);
-        for (std::size_t s = cb; s < ce; ++s) {
-          const std::size_t i = perm_[s];
-          const Observation& obs = *obs_ptr_[i];
-          const Logits logits = w.policy->logits(obs);
-          nn::softmax_masked(logits.data(), obs.mask.data(), w.probs.data(),
-                             kMaxObservable);
-          const std::uint32_t a = act_buf_[i];
-          const float logp_new = std::log(std::max(w.probs[a], 1e-10f));
-          const float ratio = std::exp(logp_new - logp_buf_[i]);
-          const float adv = adv_buf_[i];
-          kl += logp_buf_[i] - logp_new;
-          // Clipped surrogate: zero gradient once the ratio leaves the
-          // trust region in the advantage's direction.
-          const bool clipped = (adv >= 0.0f && ratio > 1.0f + cfg_.clip) ||
-                               (adv < 0.0f && ratio < 1.0f - cfg_.clip);
-          if (clipped) continue;
-          const float coef = ratio * adv * inv_batch;
-          for (std::size_t k = 0; k < kMaxObservable; ++k) {
-            // d(-logpi[a])/dlogits = probs - onehot(a), times -coef
-            dlogits[k] = coef * w.probs[k];
+        if (batched) {
+          // Batched chunk: ONE forward scores all samples (job axis
+          // m x 128), the clip test marks saturated samples inactive, and
+          // ONE backward accumulates the survivors with per-window
+          // order-stable reductions — bitwise identical to the per-sample
+          // path below.
+          const std::size_t m = ce - cb;
+          for (std::size_t q = 0; q < m; ++q) {
+            w.obs_ptr[q] = obs_ptr_[perm_[cb + q]];
           }
-          dlogits[a] -= coef;
-          w.policy->backward(obs, dlogits, g);
+          w.policy->logits_batch(w.obs_ptr.data(), m, w.logits.data());
+          for (std::size_t q = 0; q < m; ++q) {
+            const std::size_t i = perm_[cb + q];
+            const Observation& obs = *w.obs_ptr[q];
+            nn::softmax_masked(w.logits.data() + q * kMaxObservable,
+                               obs.mask.data(), w.probs.data(),
+                               kMaxObservable);
+            const std::uint32_t a = act_buf_[i];
+            const float logp_new = std::log(std::max(w.probs[a], 1e-10f));
+            const float ratio = std::exp(logp_new - logp_buf_[i]);
+            const float adv = adv_buf_[i];
+            kl += logp_buf_[i] - logp_new;
+            const bool clipped =
+                (adv >= 0.0f && ratio > 1.0f + cfg_.clip) ||
+                (adv < 0.0f && ratio < 1.0f - cfg_.clip);
+            w.active[q] = clipped ? 0 : 1;
+            if (clipped) continue;
+            const float coef = ratio * adv * inv_batch;
+            float* dl = w.dlogits.data() + q * kMaxObservable;
+            for (std::size_t k = 0; k < kMaxObservable; ++k) {
+              // d(-logpi[a])/dlogits = probs - onehot(a), times -coef
+              dl[k] = coef * w.probs[k];
+            }
+            dl[a] -= coef;
+          }
+          w.policy->backward_batch(w.obs_ptr.data(), m, w.dlogits.data(),
+                                   w.active.data(), g);
+        } else {
+          Logits dlogits;
+          for (std::size_t s = cb; s < ce; ++s) {
+            const std::size_t i = perm_[s];
+            const Observation& obs = *obs_ptr_[i];
+            const Logits logits = w.policy->logits(obs);
+            nn::softmax_masked(logits.data(), obs.mask.data(),
+                               w.probs.data(), kMaxObservable);
+            const std::uint32_t a = act_buf_[i];
+            const float logp_new = std::log(std::max(w.probs[a], 1e-10f));
+            const float ratio = std::exp(logp_new - logp_buf_[i]);
+            const float adv = adv_buf_[i];
+            kl += logp_buf_[i] - logp_new;
+            // Clipped surrogate: zero gradient once the ratio leaves the
+            // trust region in the advantage's direction.
+            const bool clipped =
+                (adv >= 0.0f && ratio > 1.0f + cfg_.clip) ||
+                (adv < 0.0f && ratio < 1.0f - cfg_.clip);
+            if (clipped) continue;
+            const float coef = ratio * adv * inv_batch;
+            for (std::size_t k = 0; k < kMaxObservable; ++k) {
+              dlogits[k] = coef * w.probs[k];
+            }
+            dlogits[a] -= coef;
+            w.policy->backward(obs, dlogits, g);
+          }
         }
         chunk_kl_[ci] = kl;
       });
@@ -342,22 +472,33 @@ void PPOTrainer::update_value() {
       const std::size_t nchunks = (stop - start + kGradChunk - 1) / kGradChunk;
 
       // value_params_ is read-only during the fan-out (the Adam step below
-      // runs after the pool barrier), so workers share it directly.
+      // runs after the pool barrier), so workers share it directly. The
+      // whole chunk goes through ONE batched forward/backward; the chunk is
+      // a single order-stable reduction window, so the summed gradient
+      // depends only on the (fixed) chunk boundaries — never on batch
+      // width or worker count.
       pool_.for_each_index(nchunks, [&](std::size_t ci, std::size_t wid) {
         Worker& w = *workers_[wid];
         float* g = chunk_grad_[ci].data();
         std::fill_n(g, nv, 0.0f);
         const std::size_t cb = start + ci * kGradChunk;
         const std::size_t ce = std::min(cb + kGradChunk, stop);
-        for (std::size_t s = cb; s < ce; ++s) {
-          const std::size_t i = perm_[s];
-          const Observation& obs = *obs_ptr_[i];
-          const float v = *w.value_net.forward(value_params_.data(),
-                                               obs.features.data());
-          const float dout = 2.0f * (v - ret_buf_[i]) * inv_batch;
-          w.value_net.backward(value_params_.data(), obs.features.data(),
-                               &dout, g, nullptr, /*recompute=*/false);
+        const std::size_t m = ce - cb;
+        constexpr std::size_t obs_floats = kJobFeatures * kMaxObservable;
+        for (std::size_t q = 0; q < m; ++q) {
+          const float* f = obs_ptr_[perm_[cb + q]]->features.data();
+          for (std::size_t x = 0; x < obs_floats; ++x) {
+            w.vx[x * m + q] = f[x];
+          }
         }
+        const float* v =
+            w.value_net.forward_batch(value_params_.data(), w.vx.data(), m);
+        for (std::size_t q = 0; q < m; ++q) {
+          w.vdout[q] = 2.0f * (v[q] - ret_buf_[perm_[cb + q]]) * inv_batch;
+        }
+        w.value_net.backward_batch(value_params_.data(), w.vx.data(),
+                                   w.vdout.data(), g, m, /*window=*/0,
+                                   nullptr, nullptr);
       });
 
       std::fill(v_grad_.begin(), v_grad_.end(), 0.0f);
@@ -403,6 +544,17 @@ sim::RunResult PPOTrainer::evaluate(const std::vector<trace::Job>& seq,
                                kMaxObservable));
   }
   return env.result();
+}
+
+std::vector<sim::RunResult> PPOTrainer::evaluate_batch(
+    const std::vector<std::vector<trace::Job>>& seqs, int processors,
+    bool backfill) const {
+  std::vector<sim::RunResult> out(seqs.size());
+  if (evaluator_ == nullptr) {
+    evaluator_ = std::make_unique<BatchedEvaluator>(*policy_, batch_);
+  }
+  evaluator_->evaluate(seqs, processors, backfill, out.data());
+  return out;
 }
 
 sim::RunResult PPOTrainer::evaluate_stream(trace::JobSource& source,

@@ -76,11 +76,9 @@ std::vector<std::pair<int, double>> per_user_bounded_slowdown(
   return sums;
 }
 
-SchedulingEnv::SchedulingEnv(int processors, EnvConfig cfg)
-    : processors_(processors), cfg_(cfg), free_(processors) {
-  if (cfg_.max_observable == 0 || cfg_.max_observable > kMaxObservable) {
-    cfg_.max_observable = kMaxObservable;
-  }
+SchedulingEnv::SchedulingEnv(int processors, EnvConfig cfg) {
+  // One validation path for fresh and pooled (reconfigure()d) envs.
+  reconfigure(processors, cfg);
 }
 
 void SchedulingEnv::reset(const std::vector<trace::Job>& jobs) {

@@ -78,28 +78,53 @@ std::string env_string(const char* name, const std::string& fallback) {
   return v != nullptr ? std::string(v) : fallback;
 }
 
-std::size_t env_workers(const char* name, std::size_t fallback) {
+namespace {
+
+/// Shared contract of the count-shaped knobs (RLSCHED_WORKERS,
+/// RLSCHED_BATCH): unset/empty -> fallback; garbage, zero, and negative
+/// REJECTED back to fallback (a count of 0 is never meaningful — a
+/// scripting bug must surface, not silently degrade); values above
+/// `max_value` clamp down to it (0 = no ceiling). The reason strings keep
+/// the warnings as specific as the hand-rolled versions were.
+std::size_t positive_count(const char* name, std::size_t fallback,
+                           std::size_t max_value, const char* parse_reason,
+                           const char* zero_reason,
+                           const char* clamp_reason) {
   const char* v = raw(name);
   if (v == nullptr) return fallback;
   char* end = nullptr;
   errno = 0;
   const long parsed = std::strtol(v, &end, 10);
   if (end == v || *end != '\0' || errno == ERANGE) {
-    warn(name, v, "not a worker count, using default");
+    warn(name, v, parse_reason);
     return fallback;
   }
   if (parsed <= 0) {
-    // 0 or negative threads is never meaningful — reject, don't clamp,
-    // so a scripting bug surfaces instead of silently serializing.
-    warn(name, v, "worker count must be >= 1, using default");
+    warn(name, v, zero_reason);
     return fallback;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw > 0 && static_cast<unsigned long>(parsed) > hw) {
-    warn(name, v, "above hardware concurrency, clamping");
-    return static_cast<std::size_t>(hw);
+  if (max_value > 0 && static_cast<unsigned long>(parsed) > max_value) {
+    warn(name, v, clamp_reason);
+    return max_value;
   }
   return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+std::size_t env_workers(const char* name, std::size_t fallback) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return positive_count(name, fallback, hw,
+                        "not a worker count, using default",
+                        "worker count must be >= 1, using default",
+                        "above hardware concurrency, clamping");
+}
+
+std::size_t env_batch(const char* name, std::size_t fallback) {
+  return positive_count(name, fallback, kMaxBatchWindows,
+                        "not a batch width, using default",
+                        "batch width must be >= 1, using default",
+                        "above max batch windows, clamping");
 }
 
 }  // namespace rlsched::util

@@ -87,6 +87,30 @@ int main() {
   put("RLSCHED_TEST_VAR", "1");
   CHECK(env_workers("RLSCHED_TEST_VAR", 8) == 1);
 
+  // Batch widths (RLSCHED_BATCH): same contract as worker counts — unset
+  // -> fallback; garbage, zero, negative REJECTED; clamped to the
+  // documented max instead of hardware concurrency.
+  using rlsched::util::env_batch;
+  using rlsched::util::kMaxBatchWindows;
+  unsetenv("RLSCHED_TEST_VAR");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 8);
+  put("RLSCHED_TEST_VAR", "0");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 8);
+  put("RLSCHED_TEST_VAR", "-16");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 8);
+  put("RLSCHED_TEST_VAR", "abc");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 8);
+  put("RLSCHED_TEST_VAR", "8x");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 8);
+  put("RLSCHED_TEST_VAR", "");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 8);
+  put("RLSCHED_TEST_VAR", "32");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 32);
+  put("RLSCHED_TEST_VAR", "1");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 1);
+  put("RLSCHED_TEST_VAR", "999999999");
+  CHECK(env_batch("RLSCHED_TEST_VAR", 8) == kMaxBatchWindows);
+
   std::puts("env parsing: OK");
   return 0;
 }
