@@ -125,20 +125,21 @@ std::vector<std::vector<trace::Job>> eval_sequences(const trace::Trace& trace,
 
 double heuristic_value(const std::vector<trace::Job>& seq, int processors,
                        const sim::PriorityFn& priority, bool backfill,
-                       sim::Metric metric) {
+                       sim::Metric metric, sim::PriorityKind kind) {
   sim::EnvConfig cfg;
   cfg.backfill = backfill;
   sim::SchedulingEnv env(processors, cfg);
   env.reset(seq);
-  return env.run_priority(priority).value(metric);
+  return env.run_priority(priority, kind).value(metric);
 }
 
 double heuristic_avg(const std::vector<std::vector<trace::Job>>& seqs,
                      int processors, const sim::PriorityFn& priority,
-                     bool backfill, sim::Metric metric) {
+                     bool backfill, sim::Metric metric,
+                     sim::PriorityKind kind) {
   double sum = 0.0;
   for (const auto& s : seqs) {
-    sum += heuristic_value(s, processors, priority, backfill, metric);
+    sum += heuristic_value(s, processors, priority, backfill, metric, kind);
   }
   return seqs.empty() ? 0.0 : sum / static_cast<double>(seqs.size());
 }
@@ -221,7 +222,7 @@ int run_scheduling_table(const std::string& title, sim::Metric metric,
       std::vector<double> values;
       for (const auto& h : heuristics) {
         values.push_back(heuristic_avg(seqs, trace.processors(), h.priority,
-                                       backfill, metric));
+                                       backfill, metric, h.kind));
       }
       auto model =
           train_or_load(t, metric, rl::PolicyKind::Kernel, false, scale);

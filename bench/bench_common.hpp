@@ -83,15 +83,19 @@ std::vector<std::vector<trace::Job>> eval_sequences(const trace::Trace& trace,
                                                     std::size_t len,
                                                     std::uint64_t seed);
 
-/// Metric of one heuristic on one sequence.
+/// Metric of one heuristic on one sequence. Pass the heuristic's
+/// PriorityKind (sched::Heuristic::kind) so time-invariant baselines run
+/// on the env's O(log P) min-key index.
 double heuristic_value(const std::vector<trace::Job>& seq, int processors,
                        const sim::PriorityFn& priority, bool backfill,
-                       sim::Metric metric);
+                       sim::Metric metric,
+                       sim::PriorityKind kind = sim::PriorityKind::TimeVarying);
 
 /// Average metric of a heuristic over shared sequences.
 double heuristic_avg(const std::vector<std::vector<trace::Job>>& seqs,
                      int processors, const sim::PriorityFn& priority,
-                     bool backfill, sim::Metric metric);
+                     bool backfill, sim::Metric metric,
+                     sim::PriorityKind kind = sim::PriorityKind::TimeVarying);
 
 /// Average metric of a trained RL model over shared sequences (optionally on
 /// a foreign cluster size, for the generalization table).

@@ -23,7 +23,8 @@ int main() {
        start += kStride) {
     const auto seq = trace.sequence(start, kWindow);
     series.push_back(bench::heuristic_value(
-        seq, trace.processors(), sjf, false, sim::Metric::BoundedSlowdown));
+        seq, trace.processors(), sjf, false, sim::Metric::BoundedSlowdown,
+        sim::PriorityKind::TimeInvariant));
   }
 
   util::Table table("Fig 3: SJF avg bounded slowdown over the PIK timeline");

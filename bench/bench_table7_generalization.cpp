@@ -42,7 +42,8 @@ int main() {
       std::string best_name, worst_name;
       for (const auto& h : sched::all_heuristics()) {
         const double v = bench::heuristic_avg(seqs, trace.processors(),
-                                              h.priority, backfill, metric);
+                                              h.priority, backfill, metric,
+                                              h.kind);
         if (v < best) {
           best = v;
           best_name = h.name;

@@ -29,7 +29,8 @@ int main() {
       std::vector<std::string> row = {t};
       for (const auto& h : sched::all_heuristics()) {
         row.push_back(bench::cell(bench::heuristic_avg(
-            seqs, trace.processors(), h.priority, backfill, metric)));
+            seqs, trace.processors(), h.priority, backfill, metric,
+            h.kind)));
       }
       auto model = bench::train_or_load(t, metric, rl::PolicyKind::Kernel,
                                         false, scale);

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
             cfg.backfill = backfill;
             sim::SchedulingEnv env(trace.processors(), cfg);
             env.reset(seq);
-            sum += env.run_priority(h.priority).value(metric);
+            sum += env.run_priority(h.priority, h.kind).value(metric);
           }
           const double avg = sum / static_cast<double>(reps);
           row.push_back(util::Table::fmt(avg, 4));

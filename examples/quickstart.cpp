@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
   env_cfg.backfill = true;
   sim::SchedulingEnv env(trace.processors(), env_cfg);
   env.reset(seq);
-  const auto sjf = env.run_priority(sched::sjf_priority());
+  const auto sjf = env.run_priority(sched::sjf_priority(),
+                                    sim::PriorityKind::TimeInvariant);
 
   std::cout << "\nscheduling 512 unseen jobs (with backfilling):\n"
             << "  RLScheduler: avg bounded slowdown = "

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       env_cfg.backfill = true;
       sim::SchedulingEnv env(target_trace.processors(), env_cfg);
       env.reset(seq);
-      sum += env.run_priority(h.priority).avg_bounded_slowdown;
+      sum += env.run_priority(h.priority, h.kind).avg_bounded_slowdown;
     }
     table.add_row({h.name, util::Table::fmt(sum / 5.0, 5)});
   }

@@ -6,6 +6,7 @@
 // no heap allocation.
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 #include "sim/env.hpp"
@@ -37,12 +38,55 @@ using Logits = std::array<float, kMaxObservable>;
 class ObservationBuilder {
  public:
   /// Snapshot the env's observable window. Returns by value (arrays only —
-  /// no heap traffic); padding slots are zeroed and masked out.
-  Observation build(const sim::SchedulingEnv& env) const;
+  /// no heap traffic); padding slots are zeroed and masked out. Templated
+  /// over the core so the differential tests can observe the frozen
+  /// ReferenceEnv through the exact same feature code.
+  template <class Env>
+  Observation build(const Env& env) const {
+    Observation obs;
+    build_into(env, obs);
+    return obs;
+  }
 
   /// Snapshot directly into caller-owned storage (e.g. a rollout slot or a
   /// batch-packing loop) — same result as build(), one copy fewer.
-  void build_into(const sim::SchedulingEnv& env, Observation& out) const;
+  template <class Env>
+  void build_into(const Env& env, Observation& out) const {
+    out.features.fill(0.0f);
+    out.mask.fill(0);
+
+    const auto window = env.observable();
+    const auto& jobs = env.jobs();
+    const double now = env.now();
+    // Loop-invariant: one read for the whole window, not one per feature
+    // row.
+    const int free_procs = env.free_processors();
+    const float free_frac = static_cast<float>(free_procs) /
+                            static_cast<float>(env.processors());
+    const float procs_norm =
+        1.0f / std::log1p(static_cast<float>(env.processors()));
+
+    out.count = static_cast<std::uint32_t>(window.size());
+    float* f0 = out.features.data();  // wait
+    float* f1 = f0 + kMaxObservable;  // requested time
+    float* f2 = f1 + kMaxObservable;  // requested procs
+    float* f3 = f2 + kMaxObservable;  // fits now
+    float* f4 = f3 + kMaxObservable;  // free fraction
+    float* f5 = f4 + kMaxObservable;  // valid bias
+    for (std::size_t j = 0; j < window.size(); ++j) {
+      const trace::Job& job = jobs[window[j]];
+      const float wait = static_cast<float>(now - job.submit_time);
+      f0[j] = std::log1p(wait > 0.0f ? wait : 0.0f) * (1.0f / 12.0f);
+      f1[j] = std::log1p(static_cast<float>(job.requested_time)) *
+              (1.0f / 12.0f);
+      f2[j] =
+          std::log1p(static_cast<float>(job.requested_procs)) * procs_norm;
+      f3[j] = job.requested_procs <= free_procs ? 1.0f : 0.0f;
+      f4[j] = free_frac;
+      f5[j] = 1.0f;
+      out.mask[j] = 1;
+    }
+  }
 };
 
 }  // namespace rlsched::rl

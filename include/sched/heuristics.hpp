@@ -13,6 +13,12 @@ namespace rlsched::sched {
 struct Heuristic {
   std::string name;
   sim::PriorityFn priority;
+  /// TimeInvariant (FCFS/SJF/F1: the score reads only immutable job
+  /// fields) lets SchedulingEnv::run_priority serve decisions from its
+  /// O(log P) min-key index; wait-time scores (WFP3/UNICEP) are
+  /// TimeVarying and take the reference-identical scan. Pass this as
+  /// run_priority's second argument.
+  sim::PriorityKind kind = sim::PriorityKind::TimeVarying;
 };
 
 /// First-Come-First-Served: earliest submission first.

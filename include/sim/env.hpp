@@ -1,20 +1,35 @@
 #pragma once
 // Event-driven scheduling simulator — the hot core of the system.
 //
-// Design for throughput (paper Table IX is the gate):
-//  * a binary min-heap of job completions in a capacity-reserved vector:
-//    O(log n) per event, no node allocations;
-//  * a free-processor counter instead of a bitmap — starting/finishing a job
-//    is O(1) bookkeeping plus the heap op;
-//  * the pending queue is an arrival-ordered index vector; the observable
-//    window handed to policies is a zero-copy span over its prefix;
+// Design for throughput at ARCHIVE-SCALE backlogs (the Table IX decision
+// cost gate, now flat from 1k to 64k pending jobs — bench_sched_scaling):
+//  * the running set is an incrementally ordered completion TIMELINE with
+//    a cached free-capacity prefix (sim/timeline.hpp): an EASY reservation
+//    is an O(log R) lookup invalidated only by job start/completion,
+//    instead of the seed's copy-the-heap-and-sort per backfill pass;
+//  * the pending queue is an order-stable INDEXED tombstone structure
+//    (sim/pending_index.hpp): a Fenwick tree over queue positions keeps
+//    the observable window dense in O(log P), a (min procs, min requested
+//    time) segment tree answers "first job in queue order that fits
+//    free/spare/window" for EASY backfill without rescanning the backlog,
+//    and a min-key segment tree gives time-invariant heuristics an
+//    O(log P) argmin — no mid-vector erases anywhere on the hot path;
+//  * a free-processor counter instead of a bitmap — starting/finishing a
+//    job is O(1) bookkeeping plus the index updates;
+//  * the observable window handed to policies is a zero-copy span of at
+//    most max_observable job ids, maintained incrementally;
 //  * all metric accounting (bounded slowdown, utilization, wait, fairness)
 //    is incremental at job start — results are O(users) to read, not O(n);
+//  * every schedule, metric, and trained parameter is BITWISE IDENTICAL
+//    to the retained naive core (sim/reference_env.hpp): the indexes
+//    reorganize the search, never the comparisons — enforced forever by
+//    tests/test_sched_core_equiv.cpp (same determinism discipline as
+//    RLSCHED_WORKERS/RLSCHED_BATCH);
 //  * ingestion is pluggable: reset() with a materialized vector keeps the
 //    zero-allocation contract below; reset() with a trace::JobSource
 //    streams the episode in chunks with O(backlog + chunk) peak memory and
 //    a schedule bitwise identical to the materialized run (amortized
-//    allocation is accepted there — the buffer grows/compacts with the
+//    allocation is accepted there — buffers grow/compact with the
 //    backlog, never with the trace);
 //  * after reset() every container stays within reserved capacity: the
 //    step()/run_priority() loop performs ZERO heap allocation (enforced by
@@ -35,6 +50,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/pending_index.hpp"
+#include "sim/timeline.hpp"
 #include "trace/job_source.hpp"
 #include "trace/trace.hpp"
 
@@ -75,6 +92,25 @@ inline double bounded_slowdown(double wait, double run) {
 /// Priority score for heuristic scheduling: LOWER runs first.
 using PriorityFn = std::function<double(const trace::Job&, double now)>;
 
+/// How a priority function depends on the decision clock.
+///
+/// TimeInvariant promises priority(job, t1) == priority(job, t2) bitwise
+/// for all t (FCFS/SJF/F1 qualify: they read only immutable job fields).
+/// run_priority() then serves each decision from an incrementally
+/// maintained min-key index in O(log P) instead of an O(P) scan — with a
+/// schedule guaranteed identical to the scan (same doubles, leftmost on
+/// ties). TimeVarying (the safe default) keeps the scan: wait-time scores
+/// like WFP3/UNICEP reorder as the clock moves, so no static index can
+/// serve them without changing tie-rounding behavior. Scores should be
+/// finite: +/-inf TimeInvariant scores fall back to the scan for the
+/// affected decisions (correct, just unindexed), and NaN scores are
+/// unsupported in either kind (the scan's strict-< makes NaN ordering
+/// position-dependent).
+enum class PriorityKind {
+  TimeVarying,
+  TimeInvariant,
+};
+
 struct RunResult {
   std::size_t jobs = 0;
   double avg_bounded_slowdown = 0.0;
@@ -90,8 +126,8 @@ struct RunResult {
 
 /// Field-by-field bitwise equality (memcmp on the doubles, so -0.0 != 0.0
 /// and identical NaNs compare equal). This is the comparator behind the
-/// streamed-vs-materialized equivalence gates in the tests and
-/// bench_trace_streaming: one definition, so the gates cannot check
+/// streamed-vs-materialized and indexed-vs-reference equivalence gates in
+/// the tests and benches: one definition, so the gates cannot check
 /// different field sets as RunResult evolves.
 bool bitwise_equal(const RunResult& a, const RunResult& b);
 
@@ -158,11 +194,18 @@ class SchedulingEnv {
   bool step(std::size_t action);
 
   /// Run the whole episode under a priority heuristic (min-score first).
-  RunResult run_priority(const PriorityFn& priority);
+  /// Pass PriorityKind::TimeInvariant when `priority` ignores `now`
+  /// (sched::Heuristic::kind says so per baseline) to serve decisions from
+  /// the O(log P) min-key index; the default keeps the reference-identical
+  /// O(P) scan.
+  RunResult run_priority(const PriorityFn& priority,
+                         PriorityKind kind = PriorityKind::TimeVarying);
 
   /// Pending jobs visible to a policy: indices into jobs(), arrival order,
-  /// at most max_observable of them.
-  std::span<const std::uint32_t> observable() const;
+  /// at most max_observable of them. Valid until the next step.
+  std::span<const std::uint32_t> observable() const {
+    return pending_.window();
+  }
 
   const std::vector<trace::Job>& jobs() const { return jobs_; }
   double now() const { return now_; }
@@ -179,38 +222,25 @@ class SchedulingEnv {
   RunResult result() const;
 
  private:
-  struct Completion {
-    double end;
-    std::int32_t procs;
-  };
-  struct CompletionLater {
-    bool operator()(const Completion& a, const Completion& b) const {
-      return a.end > b.end;
-    }
-  };
-
   void prepare();                 ///< sort, clamp, reserve, advance to t0
   void begin_episode();           ///< zero counters/accumulators/queues
   bool refill();                  ///< pull one chunk; false when drained
   void maybe_compact();           ///< recycle started jobs (streaming only)
   void compact();
+  void enqueue(std::uint32_t idx);
   void arrive_until_now();
   void advance_one_event();       ///< jump to next completion/arrival
   void ensure_pending();          ///< advance until a decision is possible
   void start_job(std::uint32_t idx);
   void start_with_wait(std::uint32_t idx);
   void try_backfill(const trace::Job& head);
-  /// Earliest time enough processors free up for `needed`, plus the count
-  /// of processors still spare at that time after the head starts.
-  double reservation(int needed, int* spare);
 
   int processors_;
   EnvConfig cfg_;
 
   std::vector<trace::Job> jobs_;
-  std::vector<std::uint32_t> pending_;     ///< arrival order
-  std::vector<Completion> running_;        ///< binary min-heap by end time
-  std::vector<Completion> shadow_;         ///< scratch for reservation()
+  PendingIndex pending_;  ///< indexed pending queue, arrival order
+  Timeline timeline_;     ///< running set ordered by completion time
   std::vector<int> user_ids_;              ///< sorted distinct users
   std::vector<double> user_bsld_sum_;
   std::vector<std::uint32_t> user_count_;
@@ -231,6 +261,10 @@ class SchedulingEnv {
 
   StartHook start_hook_ = nullptr;
   void* start_hook_ctx_ = nullptr;
+
+  /// Active TimeInvariant priority during run_priority(): arrivals compute
+  /// their static key through it. Null outside such an episode.
+  const PriorityFn* key_fn_ = nullptr;
 
   // incremental metric accumulators
   double sum_bsld_ = 0.0, sum_sld_ = 0.0, sum_wait_ = 0.0, sum_turn_ = 0.0;

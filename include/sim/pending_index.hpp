@@ -1,0 +1,171 @@
+#pragma once
+// Order-stable indexed pending queue — the backlog structure behind the
+// simulator's O(log P)-per-decision scheduling core.
+//
+// Queue positions are append-only SLOTS in arrival order. Removing a job
+// tombstones its slot (no mid-vector erase); amortized compaction drops
+// dead slots once they outnumber live ones, mirroring the env's streaming
+// maybe_compact() discipline, so every operation stays order-stable and
+// amortized O(log P). Three indexes ride on the slots:
+//
+//  * a Fenwick (binary indexed) tree counting live slots — O(log P)
+//    select-k-th-live, which incrementally maintains the DENSE observable
+//    window (the first min(live, window_cap) live jobs in queue order)
+//    that policies read as a zero-copy span;
+//  * a segment tree of (min requested_procs, min requested_time) per
+//    subtree — the EASY backfill query "first job in queue order that fits
+//    free/spare/window" descends it, pruning every subtree that provably
+//    contains no eligible job. Leaf tests reproduce the reference scan's
+//    comparisons bitwise, so the job picked is IDENTICAL to a full
+//    front-to-back rescan; the descent only visits subtrees whose
+//    (min procs, min requested time) pair cannot rule them out, which
+//    collapses the seed's O(P) pass-per-start to near-O(log P) on real
+//    backlogs (worst case remains O(P) for adversarial procs/time mixes —
+//    correctness never depends on the pruning being tight);
+//  * a segment tree of min static priority key — O(log P) leftmost-argmin
+//    for TIME-INVARIANT heuristics (FCFS/SJF/F1), matching the reference
+//    scan's strict-< first-wins tie semantics. Keys are computed once per
+//    job (the priority function must ignore `now`; see
+//    sim::PriorityKind). Keys must be finite: a NaN or +inf score would
+//    tie with the dead-slot sentinel.
+//
+// Allocation contract: reset(expected, ...) reserves every array for
+// `expected` total arrivals; materialized episodes perform zero heap
+// allocation afterwards (slot count never exceeds total arrivals, and
+// compaction/growth rebuilds resize within reserved capacity). Streaming
+// episodes may grow amortized, like the env's job buffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rlsched::sim {
+
+class PendingIndex {
+ public:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  /// Drop all slots; reserve for `expected` arrivals and a dense window of
+  /// `window_cap` jobs. Capacity is retained across resets.
+  void reset(std::size_t expected, std::size_t window_cap);
+
+  std::size_t live() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  /// Append an arrival. `key` is the static priority key (pass 0.0 unless
+  /// keys_enabled(); the env computes it from the active priority fn).
+  void push(std::uint32_t job, std::int32_t procs, double req_time,
+            double key);
+
+  /// The observable window: first min(live, window_cap) live jobs in queue
+  /// order, dense and zero-copy. Valid until the next mutation.
+  std::span<const std::uint32_t> window() const {
+    return {win_job_.data(), win_job_.size()};
+  }
+
+  /// Remove the w-th window job (w < window().size()); returns its job id.
+  std::uint32_t take_window(std::size_t w);
+
+  /// EASY backfill pick: remove and return the FIRST job in queue order
+  /// with procs <= free and (now + requested_time <= horizon or
+  /// procs <= spare) — the reference core's exact eligibility test.
+  /// Returns kNone when no pending job qualifies.
+  std::uint32_t take_first_backfill(int free, int spare, double now,
+                                    double horizon);
+
+  // --- static-key heuristic index (run_priority TimeInvariant mode) ---
+
+  /// Compute keys for every live slot via `key_of(job)` and activate the
+  /// key index. Stays active (push() must supply keys) until
+  /// disable_keys().
+  template <class KeyFn>
+  void enable_keys(KeyFn&& key_of) {
+    use_keys_ = true;
+    const double inf = kInfKey;
+    for (std::size_t pos = 0; pos < job_.size(); ++pos) {
+      key_[pos] = job_[pos] != kNone ? key_of(job_[pos]) : inf;
+    }
+    rebuild_keys();
+  }
+  void disable_keys() { use_keys_ = false; }
+  bool keys_enabled() const { return use_keys_; }
+
+  /// Remove and return the live job with the smallest key (leftmost in
+  /// queue order on ties — the scan's strict-< semantics). Precondition:
+  /// keys_enabled() and !empty().
+  std::uint32_t take_min_key();
+
+  /// Remove and return the live job minimizing score(job), scanning live
+  /// slots in queue order with strict-< (first wins) — the fallback for
+  /// time-varying priorities, identical to the reference min-scan.
+  /// Precondition: !empty().
+  template <class ScoreFn>
+  std::uint32_t take_min_scan(ScoreFn&& score) {
+    std::size_t best = kNposInternal;
+    double best_score = 0.0;
+    for (std::size_t pos = 0; pos < job_.size(); ++pos) {
+      if (job_[pos] == kNone) continue;
+      const double s = score(job_[pos]);
+      if (best == kNposInternal || s < best_score) {
+        best_score = s;
+        best = pos;
+      }
+    }
+    if (best == kNposInternal) return kNone;
+    const std::uint32_t job = job_[best];
+    remove_at(best);
+    return job;
+  }
+
+  /// Apply the env's streamed-buffer compaction remap to every stored job
+  /// id (slot order, indexes, and the window are position-based and
+  /// unaffected).
+  void remap_jobs(const std::vector<std::uint32_t>& remap) {
+    for (std::uint32_t& j : job_) {
+      if (j != kNone) j = remap[j];
+    }
+    for (std::uint32_t& j : win_job_) j = remap[j];
+  }
+
+ private:
+  static constexpr std::size_t kNposInternal = ~std::size_t{0};
+  static constexpr std::size_t kMinCompact = 64;
+  static const double kInfKey;
+
+  void fen_add(std::size_t pos, std::int32_t delta);
+  std::size_t fen_select(std::size_t k) const;  ///< k-th live slot, k >= 1
+  void seg_set(std::size_t pos);
+  void seg_clear(std::size_t pos);
+  std::size_t find_fit(std::size_t node, int free, int spare, double now,
+                       double horizon) const;
+  void rebuild();       ///< Fenwick + procs/time (+ keys) from slot arrays
+  void rebuild_keys();  ///< key tree only, from key_
+  void grow();
+  void remove_at(std::size_t pos);
+  void refill_window();
+  void maybe_compact();
+  void compact();
+
+  // slot arrays, queue (arrival) order; job_ == kNone marks a dead slot
+  std::vector<std::uint32_t> job_;
+  std::vector<std::int32_t> procs_;
+  std::vector<double> time_;
+  std::vector<double> key_;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+
+  std::size_t cap_ = 0;     ///< index leaf capacity (power of two)
+  std::size_t cap_hw_ = 0;  ///< high-water cap_ (backed by real capacity)
+  std::vector<std::int32_t> fen_;       ///< 1-indexed live-count BIT
+  std::vector<std::int32_t> seg_procs_;  ///< [1, 2*cap_): subtree minima
+  std::vector<double> seg_time_;
+  std::vector<double> seg_key_;
+  bool use_keys_ = false;
+
+  std::size_t window_cap_ = 0;
+  std::vector<std::uint32_t> win_job_;  ///< dense window, queue order
+  std::vector<std::uint32_t> win_pos_;  ///< their slot positions, ascending
+};
+
+}  // namespace rlsched::sim

@@ -13,13 +13,15 @@
 #                         a per-file + total line-coverage summary (llvm-cov
 #                         for clang builds, gcov for gcc); defaults the
 #                         build type to Debug and skips the perf smoke
-#   --perf                build Release and run the batched-inference perf
-#                         gate: bench_batch_inference --json compared
-#                         against bench/baseline.json by scripts/perf_gate.py
-#                         (+-25% tolerance on batching speedups, 2x hard
-#                         floor at B=32 vs B=1) — the same gate the hosted
-#                         `perf` CI job runs. Skips ctest (the matrix jobs
-#                         own correctness).
+#   --perf                build Release and run both perf gates against
+#                         bench/baseline.json via scripts/perf_gate.py —
+#                         the same gates the hosted `perf` CI job runs:
+#                         bench_batch_inference (+-25% on batching
+#                         speedups, 2x hard floor at B=32 vs B=1) and
+#                         bench_sched_scaling (backlog-flatness of the
+#                         indexed scheduling core 1k->64k, >=10x
+#                         decisions/sec vs the frozen ReferenceEnv at 64k).
+#                         Skips ctest (the matrix jobs own correctness).
 #   build-dir             defaults to ./build (or ./build-<sanitizers>,
 #                         ./build-coverage)
 #
@@ -54,7 +56,7 @@ for arg in "$@"; do
     --coverage) COVERAGE=1 ;;
     --perf) PERF=1 ;;
     -h|--help)
-      sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     -*)
@@ -127,16 +129,21 @@ if [ -n "$COVERAGE" ]; then
 fi
 
 if [ -n "$PERF" ]; then
-  step "batched-inference perf gate (bench/baseline.json, +-25% on speedups)"
   command -v python3 >/dev/null || {
     printf '%spython3 is required for the perf gate%s\n' "$RED" "$RESET" >&2
     exit 1
   }
+  step "batched-inference perf gate (bench/baseline.json, +-25% on speedups)"
   "$BUILD_DIR/bench/bench_batch_inference" --json \
     > "$BUILD_DIR/bench_batch_inference.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_batch_inference.json" --tolerance 0.25
-  printf '%s== perf gate passed ==%s\n' "$GREEN" "$RESET"
+  step "scheduling-core scaling gate (flat 1k->64k, >=10x vs reference)"
+  "$BUILD_DIR/bench/bench_sched_scaling" --json \
+    > "$BUILD_DIR/bench_sched_scaling.json"
+  python3 scripts/perf_gate.py bench/baseline.json \
+    "$BUILD_DIR/bench_sched_scaling.json" --tolerance 0.25
+  printf '%s== perf gates passed ==%s\n' "$GREEN" "$RESET"
   exit 0
 fi
 

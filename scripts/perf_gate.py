@@ -1,41 +1,180 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for bench_batch_inference (the CI `perf` job).
+"""Perf-regression gate for the CI `perf` job.
 
 Usage: perf_gate.py BASELINE.json CURRENT.json [--tolerance 0.25]
 
-Two kinds of checks, deliberately different in strictness:
+BASELINE.json holds one entry per bench under "benches"; the gate
+dispatches on CURRENT.json's "bench" field:
+
+bench_batch_inference — batched-inference engine:
 
 * Batching SPEEDUP RATIOS (b8/b1, b32/b1 per metric) are compared against
   the checked-in baseline with the given tolerance and FAIL the gate when
   they regress below baseline * (1 - tolerance). Ratios divide out the
   host's absolute speed, so they are meaningful on any runner generation.
 
-* ABSOLUTE decisions/sec are reported, and a drop below the same tolerance
-  band only WARNS: hosted CI machines legitimately differ by more than any
-  useful tolerance, and a hard absolute gate would be pure flakiness.
+* HARD FLOORS, host-independent by construction: batched inference must
+  deliver >= 2x decisions/sec at B=32 vs B=1 on the weight-bound
+  evaluation sweep (eval_mlp) and on the trainer's rollout decision point
+  (rollout_kernel). The kernel-policy evaluation sweep is exempt — its
+  network is already batched over the 128-job window internally, so its
+  honest curve is flat (gated only against ratio regression).
 
-* HARD FLOORS, host-independent by construction (the ISSUE's acceptance
-  criterion): batched inference must deliver >= 2x decisions/sec at B=32
-  vs B=1 on the weight-bound evaluation sweep (eval_mlp) and on the
-  trainer's rollout decision point (rollout_kernel). The kernel-policy
-  evaluation sweep is exempt from the floor — its network is already
-  batched over the 128-job window internally, so its honest curve is flat
-  (gated only against ratio regression) — but batching must never cost it
-  more than the tolerance either.
+bench_sched_scaling — indexed scheduling core on storm backlogs:
 
-Exit status: 0 = gate passed, 1 = regression or floor violation.
+* BACKLOG-FLATNESS: per-decision cost from 1k to 64k pending (the n1k/n64k
+  decisions-per-sec ratio) must stay within tolerance of the recorded
+  baseline ratio for every indexed metric, and under an absolute cap of
+  2.5x for the genuinely flat paths (fcfs_plain: pure queue maintenance;
+  kernel: inference-dominated decision). fcfs_easy is exempt from the cap:
+  deeper storms legitimately backfill more jobs per decision, so its
+  honest curve is sublinear-but-not-flat and only the baseline-ratio check
+  applies.
+
+* SPEEDUP FLOORS at the 64k backlog, measured in the SAME run against the
+  frozen ReferenceEnv (ref_* metrics) so host speed divides out: >= 10x
+  decisions/sec on fcfs_plain and fcfs_easy (the seed-core comparison the
+  tentpole targets), >= 2x on kernel (where policy inference, not the
+  simulator, dominates both cores by design).
+
+* ABSOLUTE decisions/sec and indexed-vs-reference speedups are also
+  compared against the baseline but only WARN: hosted CI machines
+  legitimately differ by more than any useful tolerance.
+
+Exit status: 0 = gate passed, 1 = regression or floor violation,
+2 = usage/config error.
 """
 
 import json
 import sys
 
-FLOOR_METRICS = {"eval_mlp": 2.0, "rollout_kernel": 2.0}
-RATIOS = [("b8", "b1"), ("b32", "b1")]
+failures = 0
 
 
 def fail(msg):
+    global failures
     print(f"FAIL: {msg}")
-    return 1
+    failures += 1
+
+
+def warn_absolute(name, base, cur, keys, tolerance):
+    for k in keys:
+        if cur[k] < base[k] * (1.0 - tolerance):
+            print(f"WARN: {name} {k} absolute throughput {cur[k]:.0f}/s is "
+                  f"{cur[k] / base[k]:.2f}x the baseline {base[k]:.0f}/s "
+                  f"(host difference or real regression — ratios are the "
+                  f"gate)")
+
+
+def check_batch_inference(baseline_doc, current_doc, tolerance):
+    # A scalar-fallback build or a resized pool produces numbers the
+    # baseline was never recorded for — say so instead of failing with
+    # confusing ratios.
+    for field in ("simd_lanes", "pool_windows"):
+        if baseline_doc.get(field) != current_doc.get(field):
+            fail(f"bench config mismatch: {field} is "
+                 f"{current_doc.get(field)} here but the baseline was "
+                 f"recorded at {baseline_doc.get(field)} — refresh "
+                 f"bench/baseline.json for this build configuration")
+            return
+
+    floor_metrics = {"eval_mlp": 2.0, "rollout_kernel": 2.0}
+    baseline = baseline_doc["metrics"]
+    current = current_doc["metrics"]
+
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            fail(f"metric '{name}' missing from current run")
+            continue
+
+        for hi, lo in (("b8", "b1"), ("b32", "b1")):
+            base_ratio = base[hi] / base[lo]
+            cur_ratio = cur[hi] / cur[lo]
+            floor = base_ratio * (1.0 - tolerance)
+            status = "ok" if cur_ratio >= floor else "FAIL"
+            print(f"{name:16s} {hi}/{lo} speedup {cur_ratio:7.2f}x "
+                  f"(baseline {base_ratio:.2f}x, gate >= {floor:.2f}x) "
+                  f"{status}")
+            if cur_ratio < floor:
+                fail(f"{name} {hi}/{lo} batching speedup regressed: "
+                     f"{cur_ratio:.2f}x < {floor:.2f}x")
+
+        warn_absolute(name, base, cur, ("b1", "b8", "b32"), tolerance)
+
+        floor = floor_metrics.get(name)
+        if floor is not None:
+            got = cur["b32"] / cur["b1"]
+            status = "ok" if got >= floor else "FAIL"
+            print(f"{name:16s} hard floor: B=32 vs B=1 {got:7.2f}x "
+                  f"(required >= {floor:.1f}x) {status}")
+            if got < floor:
+                fail(f"{name} batched inference floor violated: "
+                     f"{got:.2f}x < {floor:.1f}x at B=32 vs B=1")
+
+
+def check_sched_scaling(baseline_doc, current_doc, tolerance):
+    # (indexed metric, its reference twin, 64k speedup floor, flatness cap)
+    plan = [
+        ("fcfs_plain", "ref_fcfs_plain", 10.0, 2.5),
+        ("fcfs_easy", "ref_fcfs_easy", 10.0, None),
+        ("kernel", "ref_kernel", 2.0, 2.5),
+    ]
+    baseline = baseline_doc["metrics"]
+    current = current_doc["metrics"]
+
+    for name, ref_name, speed_floor, flat_cap in plan:
+        cur = current.get(name)
+        cur_ref = current.get(ref_name)
+        if cur is None or cur_ref is None:
+            fail(f"metric '{name}'/'{ref_name}' missing from current run")
+            continue
+        base = baseline.get(name)
+        base_ref = baseline.get(ref_name)
+        if base is None or base_ref is None:
+            fail(f"metric '{name}'/'{ref_name}' missing from baseline — "
+                 f"refresh bench/baseline.json with the full bench output")
+            continue
+
+        # Backlog flatness: per-decision cost at 64k vs 1k == n1k/n64k dps.
+        base_flat = base["n1k"] / base["n64k"]
+        cur_flat = cur["n1k"] / cur["n64k"]
+        limit = base_flat * (1.0 + tolerance)
+        if flat_cap is not None:
+            limit = min(limit, flat_cap)  # both claims must hold
+        status = "ok" if cur_flat <= limit else "FAIL"
+        cap_note = f", cap {flat_cap:.1f}x" if flat_cap is not None else ""
+        print(f"{name:16s} 64k/1k per-decision cost {cur_flat:7.2f}x "
+              f"(baseline {base_flat:.2f}x, gate <= {limit:.2f}x{cap_note}) "
+              f"{status}")
+        if cur_flat > limit:
+            fail(f"{name} backlog scaling regressed: per-decision cost "
+                 f"grew {cur_flat:.2f}x from 1k to 64k (gate <= "
+                 f"{limit:.2f}x)")
+
+        # Hard speedup floor vs the reference core, same run & host.
+        speedup = cur["n64k"] / cur_ref["n64k"]
+        status = "ok" if speedup >= speed_floor else "FAIL"
+        print(f"{name:16s} 64k speedup vs reference {speedup:7.1f}x "
+              f"(required >= {speed_floor:.0f}x) {status}")
+        if speedup < speed_floor:
+            fail(f"{name} indexed-core speedup floor violated: "
+                 f"{speedup:.1f}x < {speed_floor:.0f}x vs {ref_name} at "
+                 f"64k backlog")
+
+        base_speedup = base["n64k"] / base_ref["n64k"]
+        if speedup < base_speedup * (1.0 - tolerance):
+            print(f"WARN: {name} 64k speedup {speedup:.1f}x is below the "
+                  f"baseline {base_speedup:.1f}x band (host cache/memory "
+                  f"differences move this; the floors above are the gate)")
+
+        warn_absolute(name, base, cur, ("n1k", "n8k", "n64k"), tolerance)
+
+
+CHECKERS = {
+    "bench_batch_inference": check_batch_inference,
+    "bench_sched_scaling": check_sched_scaling,
+}
 
 
 def main(argv):
@@ -46,66 +185,27 @@ def main(argv):
     if "--tolerance" in argv:
         tolerance = float(argv[argv.index("--tolerance") + 1])
     with open(argv[1]) as f:
-        baseline_doc = json.load(f)
+        baseline_root = json.load(f)
     with open(argv[2]) as f:
         current_doc = json.load(f)
 
-    # A scalar-fallback build or a resized pool produces numbers the
-    # baseline was never recorded for — say so instead of failing with
-    # confusing ratios.
-    for field in ("simd_lanes", "pool_windows"):
-        if baseline_doc.get(field) != current_doc.get(field):
-            return fail(
-                f"bench config mismatch: {field} is "
-                f"{current_doc.get(field)} here but the baseline was "
-                f"recorded at {baseline_doc.get(field)} — refresh "
-                f"bench/baseline.json for this build configuration")
+    bench = current_doc.get("bench")
+    checker = CHECKERS.get(bench)
+    if checker is None:
+        print(f"unknown bench '{bench}' in {argv[2]}")
+        return 2
+    benches = baseline_root.get("benches", {})
+    baseline_doc = benches.get(bench)
+    if baseline_doc is None:
+        print(f"no baseline entry for '{bench}' in {argv[1]}")
+        return 2
 
-    baseline = baseline_doc["metrics"]
-    current = current_doc["metrics"]
-
-    failures = 0
-    for name, base in sorted(baseline.items()):
-        cur = current.get(name)
-        if cur is None:
-            failures += fail(f"metric '{name}' missing from current run")
-            continue
-
-        for hi, lo in RATIOS:
-            base_ratio = base[hi] / base[lo]
-            cur_ratio = cur[hi] / cur[lo]
-            floor = base_ratio * (1.0 - tolerance)
-            status = "ok" if cur_ratio >= floor else "FAIL"
-            print(f"{name:16s} {hi}/{lo} speedup {cur_ratio:7.2f}x "
-                  f"(baseline {base_ratio:.2f}x, gate >= {floor:.2f}x) "
-                  f"{status}")
-            if cur_ratio < floor:
-                failures += fail(
-                    f"{name} {hi}/{lo} batching speedup regressed: "
-                    f"{cur_ratio:.2f}x < {floor:.2f}x")
-
-        for b in ("b1", "b8", "b32"):
-            if cur[b] < base[b] * (1.0 - tolerance):
-                print(f"WARN: {name} {b} absolute throughput "
-                      f"{cur[b]:.0f}/s is {cur[b] / base[b]:.2f}x the "
-                      f"baseline {base[b]:.0f}/s (host difference or real "
-                      f"regression — ratios above are the gate)")
-
-        floor = FLOOR_METRICS.get(name)
-        if floor is not None:
-            got = cur["b32"] / cur["b1"]
-            status = "ok" if got >= floor else "FAIL"
-            print(f"{name:16s} hard floor: B=32 vs B=1 {got:7.2f}x "
-                  f"(required >= {floor:.1f}x) {status}")
-            if got < floor:
-                failures += fail(
-                    f"{name} batched inference floor violated: "
-                    f"{got:.2f}x < {floor:.1f}x at B=32 vs B=1")
+    checker(baseline_doc, current_doc, tolerance)
 
     if failures:
-        print(f"perf gate: {failures} failure(s)")
+        print(f"perf gate [{bench}]: {failures} failure(s)")
         return 1
-    print("perf gate: all checks passed")
+    print(f"perf gate [{bench}]: all checks passed")
     return 0
 
 

@@ -10,7 +10,9 @@ double sjf_metric(const std::vector<trace::Job>& seq, int processors,
                   sim::Metric metric) {
   sim::SchedulingEnv env(processors);
   env.reset(seq);
-  return env.run_priority(sched::sjf_priority()).value(metric);
+  return env
+      .run_priority(sched::sjf_priority(), sim::PriorityKind::TimeInvariant)
+      .value(metric);
 }
 
 FilterRange compute_filter_range(const trace::Trace& trace, sim::Metric metric,

@@ -40,10 +40,13 @@ sim::PriorityFn unicep_priority() { return &unicep; }
 sim::PriorityFn f1_priority() { return &f1; }
 
 const std::vector<Heuristic>& all_heuristics() {
+  using sim::PriorityKind;
   static const std::vector<Heuristic> heuristics = {
-      {"FCFS", fcfs_priority()}, {"WFP3", wfp3_priority()},
-      {"UNICEP", unicep_priority()}, {"SJF", sjf_priority()},
-      {"F1", f1_priority()},
+      {"FCFS", fcfs_priority(), PriorityKind::TimeInvariant},
+      {"WFP3", wfp3_priority(), PriorityKind::TimeVarying},
+      {"UNICEP", unicep_priority(), PriorityKind::TimeVarying},
+      {"SJF", sjf_priority(), PriorityKind::TimeInvariant},
+      {"F1", f1_priority(), PriorityKind::TimeInvariant},
   };
   return heuristics;
 }

@@ -53,27 +53,33 @@ bool bitwise_equal(const RunResult& a, const RunResult& b) {
 
 std::vector<std::pair<int, double>> per_user_bounded_slowdown(
     const std::vector<trace::Job>& jobs) {
-  std::vector<std::pair<int, double>> sums;   // user -> (sum)
-  std::vector<std::pair<int, std::size_t>> counts;
+  // Accumulate unsorted, then one stable sort + grouped aggregation: the
+  // per-user addition order stays job order (stable sort preserves it), so
+  // the averages match the old incremental sorted-insert bit for bit
+  // without its O(users) insert per job.
+  std::vector<std::pair<int, double>> bslds;  // (user, job bsld), job order
+  bslds.reserve(jobs.size());
   for (const trace::Job& j : jobs) {
     if (!j.scheduled()) continue;
-    const double b = bounded_slowdown(j.wait_time(), j.run_time);
-    auto it = std::lower_bound(
-        sums.begin(), sums.end(), j.user,
-        [](const auto& p, int u) { return p.first < u; });
-    const auto pos = it - sums.begin();
-    if (it == sums.end() || it->first != j.user) {
-      sums.insert(it, {j.user, b});
-      counts.insert(counts.begin() + pos, {j.user, 1});
-    } else {
-      it->second += b;
-      counts[static_cast<std::size_t>(pos)].second += 1;
+    bslds.emplace_back(j.user, bounded_slowdown(j.wait_time(), j.run_time));
+  }
+  std::stable_sort(bslds.begin(), bslds.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::pair<int, double>> out;
+  std::size_t i = 0;
+  while (i < bslds.size()) {
+    const int user = bslds[i].first;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (; i < bslds.size() && bslds[i].first == user; ++i) {
+      sum += bslds[i].second;
+      ++count;
     }
+    out.emplace_back(user, sum / static_cast<double>(count));
   }
-  for (std::size_t i = 0; i < sums.size(); ++i) {
-    sums[i].second /= static_cast<double>(counts[i].second);
-  }
-  return sums;
+  return out;
 }
 
 SchedulingEnv::SchedulingEnv(int processors, EnvConfig cfg) {
@@ -96,6 +102,7 @@ void SchedulingEnv::begin_episode() {
   next_arrival_ = 0;
   started_ = 0;
   dead_in_buffer_ = 0;
+  key_fn_ = nullptr;
   sum_bsld_ = sum_sld_ = sum_wait_ = sum_turn_ = 0.0;
   busy_area_ = 0.0;
   now_ = jobs_.empty() ? 0.0 : jobs_.front().submit_time;
@@ -119,12 +126,8 @@ void SchedulingEnv::prepare() {
   }
   const std::size_t n = jobs_.size();
   total_jobs_ = n;
-  pending_.clear();
-  pending_.reserve(n);
-  running_.clear();
-  running_.reserve(n);
-  shadow_.clear();
-  shadow_.reserve(n);
+  pending_.reset(n, cfg_.max_observable);
+  timeline_.reset(n);
 
   user_ids_.clear();
   user_ids_.reserve(n);
@@ -158,9 +161,11 @@ void SchedulingEnv::reset(trace::JobSource& source, std::size_t chunk_jobs) {
   source.rewind();
 
   jobs_.clear();
-  pending_.clear();
-  running_.clear();
-  shadow_.clear();
+  // Size the indexes for a couple of chunks; they grow amortized with the
+  // BACKLOG (never the trace), preserving the O(backlog + chunk) memory
+  // contract.
+  pending_.reset(chunk_jobs_ * 2, cfg_.max_observable);
+  timeline_.reset(chunk_jobs_ * 2);
   // The user table is discovered incrementally as jobs stream in
   // (start_job's sorted insert); distinct users — not jobs — bound it.
   user_ids_.clear();
@@ -223,16 +228,25 @@ void SchedulingEnv::compact() {
   }
   if (next_arrival_ >= jobs_.size()) new_next = w;
   next_arrival_ = new_next;
-  for (std::uint32_t& p : pending_) p = remap_[p];
+  pending_.remap_jobs(remap_);
   jobs_.resize(w);  // shrinks: capacity (and so peak RSS) is retained
   dead_in_buffer_ = 0;
+}
+
+void SchedulingEnv::enqueue(std::uint32_t idx) {
+  const trace::Job& j = jobs_[idx];
+  // The static key is computed AT ARRIVAL: PriorityKind::TimeInvariant
+  // promises the same double at any clock, so this equals the reference
+  // scan's decision-time evaluation bitwise.
+  const double key = key_fn_ != nullptr ? (*key_fn_)(j, now_) : 0.0;
+  pending_.push(idx, j.requested_procs, j.requested_time, key);
 }
 
 void SchedulingEnv::arrive_until_now() {
   for (;;) {
     while (next_arrival_ < jobs_.size() &&
            jobs_[next_arrival_].submit_time <= now_) {
-      pending_.push_back(static_cast<std::uint32_t>(next_arrival_));
+      enqueue(static_cast<std::uint32_t>(next_arrival_));
       ++next_arrival_;
     }
     // Streaming: the next chunk may hold more jobs that have already
@@ -248,17 +262,13 @@ void SchedulingEnv::advance_one_event() {
     refill();  // the next arrival's time is needed to pick the next event
   }
   double t = kInf;
-  if (!running_.empty()) t = running_.front().end;
+  if (!timeline_.empty()) t = timeline_.next_end();
   if (next_arrival_ < jobs_.size()) {
     t = std::min(t, jobs_[next_arrival_].submit_time);
   }
   if (t == kInf) return;  // nothing left to happen
   now_ = std::max(now_, t);
-  while (!running_.empty() && running_.front().end <= now_) {
-    free_ += running_.front().procs;
-    std::pop_heap(running_.begin(), running_.end(), CompletionLater{});
-    running_.pop_back();
-  }
+  free_ += timeline_.pop_until(now_);
   arrive_until_now();
 }
 
@@ -270,8 +280,7 @@ void SchedulingEnv::start_job(std::uint32_t idx) {
   trace::Job& j = jobs_[idx];
   j.start_time = now_;
   free_ -= j.requested_procs;
-  running_.push_back({j.end_time(), j.requested_procs});
-  std::push_heap(running_.begin(), running_.end(), CompletionLater{});
+  timeline_.insert(j.end_time(), j.requested_procs);
   ++started_;
 
   const double wait = j.wait_time();
@@ -303,48 +312,21 @@ void SchedulingEnv::start_job(std::uint32_t idx) {
   if (start_hook_ != nullptr) start_hook_(start_hook_ctx_, j);
 }
 
-double SchedulingEnv::reservation(int needed, int* spare) {
-  // Replay completions in end order over a scratch copy of the heap until
-  // `needed` processors are free. Capacity was reserved in prepare(): the
-  // assign/sort below never allocate.
-  shadow_.assign(running_.begin(), running_.end());
-  std::sort(shadow_.begin(), shadow_.end(),
-            [](const Completion& a, const Completion& b) {
-              return a.end < b.end;
-            });
-  int f = free_;
-  for (const Completion& c : shadow_) {
-    f += c.procs;
-    if (f >= needed) {
-      if (spare != nullptr) *spare = f - needed;
-      return c.end;
-    }
-  }
-  if (spare != nullptr) *spare = std::max(0, f - needed);
-  return now_;  // trace requests more than the machine has; start anyway
-}
-
 void SchedulingEnv::try_backfill(const trace::Job& head) {
-  bool progress = true;
-  while (progress && free_ > 0 && !pending_.empty()) {
-    progress = false;
+  // EASY: a job may jump the queue only if it cannot delay the head's
+  // reservation — it finishes (by its own estimate) before the
+  // reservation, or it fits in processors the head will not need. The
+  // reservation is an O(log R) timeline lookup and the first eligible job
+  // in queue order comes from the fit index, replacing the seed's
+  // O(R log R) sort + O(P) rescan per started job.
+  while (free_ > 0 && !pending_.empty()) {
     int spare = 0;
-    const double t_reserve = reservation(head.requested_procs, &spare);
-    for (std::size_t p = 0; p < pending_.size(); ++p) {
-      const trace::Job& c = jobs_[pending_[p]];
-      if (c.requested_procs > free_) continue;
-      // EASY: a job may jump the queue only if it cannot delay the head's
-      // reservation — it finishes (by its own estimate) before the
-      // reservation, or it fits in processors the head will not need.
-      const bool fits_window = now_ + c.requested_time <= t_reserve;
-      const bool fits_spare = c.requested_procs <= spare;
-      if (!fits_window && !fits_spare) continue;
-      const std::uint32_t idx = pending_[p];
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(p));
-      start_job(idx);
-      progress = true;
-      break;  // free/running changed: recompute the reservation
-    }
+    const double t_reserve =
+        timeline_.reservation(free_, head.requested_procs, now_, &spare);
+    const std::uint32_t idx =
+        pending_.take_first_backfill(free_, spare, now_, t_reserve);
+    if (idx == PendingIndex::kNone) break;  // nothing eligible remains
+    start_job(idx);  // free/running changed: recompute the reservation
   }
 }
 
@@ -364,40 +346,53 @@ bool SchedulingEnv::step(std::size_t action) {
   maybe_compact();  // safe point: no job indices are held across steps
   ensure_pending();
   if (done()) return true;
-  const std::size_t window = std::min(pending_.size(), cfg_.max_observable);
+  const std::size_t window = pending_.window().size();
   if (action >= window) action = window - 1;  // defensive clamp
-  const std::uint32_t idx = pending_[action];
-  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(action));
+  const std::uint32_t idx = pending_.take_window(action);
   start_with_wait(idx);
   ensure_pending();
   return done();
 }
 
-RunResult SchedulingEnv::run_priority(const PriorityFn& priority) {
+RunResult SchedulingEnv::run_priority(const PriorityFn& priority,
+                                      PriorityKind kind) {
+  if (kind == PriorityKind::TimeInvariant) {
+    // Key the already-pending jobs and route future arrivals through the
+    // same function; every decision is then one O(log P) argmin.
+    key_fn_ = &priority;
+    pending_.enable_keys([&](std::uint32_t job) {
+      return priority(jobs_[job], now_);
+    });
+  }
   while (!done()) {
     maybe_compact();
     ensure_pending();
     if (pending_.empty()) break;
-    // O(k) min-scan beats a full sort here: one decision needs one minimum,
-    // and it keeps the loop allocation-free.
-    std::size_t best = 0;
-    double best_score = priority(jobs_[pending_[0]], now_);
-    for (std::size_t p = 1; p < pending_.size(); ++p) {
-      const double s = priority(jobs_[pending_[p]], now_);
-      if (s < best_score) {
-        best_score = s;
-        best = p;
+    std::uint32_t idx = PendingIndex::kNone;
+    if (kind == PriorityKind::TimeInvariant) {
+      idx = pending_.take_min_key();
+      if (idx == PendingIndex::kNone) {
+        // A non-finite score ties with the index's dead-slot sentinel
+        // (+inf) and cannot be served by the key tree. Fall back to the
+        // reference scan for this decision rather than walking off the
+        // queue; NaN scores remain unsupported either way (see
+        // PriorityKind).
+        idx = pending_.take_min_scan([&](std::uint32_t job) {
+          return priority(jobs_[job], now_);
+        });
       }
+    } else {
+      // O(live) min-scan in queue order (strict <, first wins) — the
+      // reference semantics for clock-dependent scores.
+      idx = pending_.take_min_scan([&](std::uint32_t job) {
+        return priority(jobs_[job], now_);
+      });
     }
-    const std::uint32_t idx = pending_[best];
-    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
     start_with_wait(idx);
   }
+  key_fn_ = nullptr;
+  pending_.disable_keys();
   return result();
-}
-
-std::span<const std::uint32_t> SchedulingEnv::observable() const {
-  return {pending_.data(), std::min(pending_.size(), cfg_.max_observable)};
 }
 
 RunResult SchedulingEnv::result() const {

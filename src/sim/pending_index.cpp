@@ -1,0 +1,259 @@
+#include "sim/pending_index.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rlsched::sim {
+
+namespace {
+constexpr std::int32_t kInfProcs = std::numeric_limits<std::int32_t>::max();
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+std::size_t pow2_ceil(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+const double PendingIndex::kInfKey = kInfD;
+
+void PendingIndex::reset(std::size_t expected, std::size_t window_cap) {
+  window_cap_ = window_cap;
+  job_.clear();
+  procs_.clear();
+  time_.clear();
+  key_.clear();
+  win_job_.clear();
+  win_pos_.clear();
+  live_ = 0;
+  dead_ = 0;
+  use_keys_ = false;
+
+  // Reserve for the whole episode: slot count never exceeds total arrivals
+  // (appends only grow it; compaction only shrinks), so a materialized
+  // episode of `expected` jobs never reallocates past this point.
+  job_.reserve(expected);
+  procs_.reserve(expected);
+  time_.reserve(expected);
+  key_.reserve(expected);
+  win_job_.reserve(window_cap_);
+  win_pos_.reserve(window_cap_);
+  cap_ = pow2_ceil(std::max<std::size_t>(kMinCompact, expected));
+  cap_hw_ = std::max(cap_hw_, cap_);
+  fen_.reserve(cap_hw_ + 1);
+  seg_procs_.reserve(2 * cap_hw_);
+  seg_time_.reserve(2 * cap_hw_);
+  seg_key_.reserve(2 * cap_hw_);
+  rebuild();
+}
+
+void PendingIndex::fen_add(std::size_t pos, std::int32_t delta) {
+  for (std::size_t i = pos + 1; i <= cap_; i += i & (~i + 1)) {
+    fen_[i] += delta;
+  }
+}
+
+std::size_t PendingIndex::fen_select(std::size_t k) const {
+  // Smallest 0-based position whose live-count prefix reaches k.
+  std::size_t idx = 0;
+  auto rem = static_cast<std::int32_t>(k);
+  for (std::size_t bit = cap_; bit != 0; bit >>= 1) {
+    const std::size_t next = idx + bit;
+    if (next <= cap_ && fen_[next] < rem) {
+      idx = next;
+      rem -= fen_[next];
+    }
+  }
+  return idx;
+}
+
+void PendingIndex::seg_set(std::size_t pos) {
+  std::size_t i = cap_ + pos;
+  seg_procs_[i] = procs_[pos];
+  seg_time_[i] = time_[pos];
+  seg_key_[i] = use_keys_ ? key_[pos] : kInfD;
+  for (i >>= 1; i != 0; i >>= 1) {
+    seg_procs_[i] = std::min(seg_procs_[2 * i], seg_procs_[2 * i + 1]);
+    seg_time_[i] = std::min(seg_time_[2 * i], seg_time_[2 * i + 1]);
+    seg_key_[i] = std::min(seg_key_[2 * i], seg_key_[2 * i + 1]);
+  }
+}
+
+void PendingIndex::seg_clear(std::size_t pos) {
+  std::size_t i = cap_ + pos;
+  seg_procs_[i] = kInfProcs;
+  seg_time_[i] = kInfD;
+  seg_key_[i] = kInfD;
+  for (i >>= 1; i != 0; i >>= 1) {
+    seg_procs_[i] = std::min(seg_procs_[2 * i], seg_procs_[2 * i + 1]);
+    seg_time_[i] = std::min(seg_time_[2 * i], seg_time_[2 * i + 1]);
+    seg_key_[i] = std::min(seg_key_[2 * i], seg_key_[2 * i + 1]);
+  }
+}
+
+void PendingIndex::rebuild() {
+  fen_.resize(cap_ + 1);
+  std::fill(fen_.begin(), fen_.end(), 0);
+  for (std::size_t pos = 0; pos < job_.size(); ++pos) {
+    if (job_[pos] != kNone) fen_[pos + 1] = 1;
+  }
+  for (std::size_t i = 1; i <= cap_; ++i) {
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent <= cap_) fen_[parent] += fen_[i];
+  }
+
+  seg_procs_.resize(2 * cap_);
+  seg_time_.resize(2 * cap_);
+  seg_key_.resize(2 * cap_);
+  for (std::size_t pos = 0; pos < cap_; ++pos) {
+    const bool alive = pos < job_.size() && job_[pos] != kNone;
+    seg_procs_[cap_ + pos] = alive ? procs_[pos] : kInfProcs;
+    seg_time_[cap_ + pos] = alive ? time_[pos] : kInfD;
+    seg_key_[cap_ + pos] = (alive && use_keys_) ? key_[pos] : kInfD;
+  }
+  for (std::size_t i = cap_ - 1; i >= 1; --i) {
+    seg_procs_[i] = std::min(seg_procs_[2 * i], seg_procs_[2 * i + 1]);
+    seg_time_[i] = std::min(seg_time_[2 * i], seg_time_[2 * i + 1]);
+    seg_key_[i] = std::min(seg_key_[2 * i], seg_key_[2 * i + 1]);
+  }
+}
+
+void PendingIndex::rebuild_keys() {
+  for (std::size_t pos = 0; pos < cap_; ++pos) {
+    const bool alive = pos < job_.size() && job_[pos] != kNone;
+    seg_key_[cap_ + pos] = alive ? key_[pos] : kInfD;
+  }
+  for (std::size_t i = cap_ - 1; i >= 1; --i) {
+    seg_key_[i] = std::min(seg_key_[2 * i], seg_key_[2 * i + 1]);
+  }
+}
+
+void PendingIndex::grow() {
+  cap_ *= 2;
+  cap_hw_ = std::max(cap_hw_, cap_);
+  rebuild();
+}
+
+void PendingIndex::push(std::uint32_t job, std::int32_t procs,
+                        double req_time, double key) {
+  if (job_.size() == cap_) grow();
+  const std::size_t pos = job_.size();
+  job_.push_back(job);
+  procs_.push_back(procs);
+  time_.push_back(req_time);
+  key_.push_back(key);
+  ++live_;
+  fen_add(pos, +1);
+  seg_set(pos);
+  refill_window();
+}
+
+void PendingIndex::refill_window() {
+  // Window invariant: win holds the positions of the first
+  // min(live, window_cap) live slots, so the next member is always the
+  // (size+1)-th live slot overall — one Fenwick select.
+  while (win_job_.size() < window_cap_ && win_job_.size() < live_) {
+    const std::size_t pos = fen_select(win_job_.size() + 1);
+    win_pos_.push_back(static_cast<std::uint32_t>(pos));
+    win_job_.push_back(job_[pos]);
+  }
+}
+
+void PendingIndex::remove_at(std::size_t pos) {
+  job_[pos] = kNone;
+  --live_;
+  ++dead_;
+  fen_add(pos, -1);
+  seg_clear(pos);
+  const auto it = std::lower_bound(win_pos_.begin(), win_pos_.end(),
+                                   static_cast<std::uint32_t>(pos));
+  if (it != win_pos_.end() && *it == pos) {
+    const auto w = it - win_pos_.begin();
+    win_pos_.erase(it);
+    win_job_.erase(win_job_.begin() + w);
+    refill_window();
+  }
+  maybe_compact();
+}
+
+std::uint32_t PendingIndex::take_window(std::size_t w) {
+  const std::uint32_t job = win_job_[w];
+  remove_at(win_pos_[w]);
+  return job;
+}
+
+std::size_t PendingIndex::find_fit(std::size_t node, int free, int spare,
+                                   double now, double horizon) const {
+  // Prune: no job below `node` can be eligible. Both tests are exact at
+  // leaves (the node minima ARE the job's values there), so a surviving
+  // leaf is eligible by construction — the same comparisons the reference
+  // scan performs, in the same queue order.
+  if (seg_procs_[node] > free) return kNposInternal;
+  if (seg_procs_[node] > spare && now + seg_time_[node] > horizon) {
+    return kNposInternal;
+  }
+  if (node >= cap_) return node - cap_;
+  const std::size_t left = find_fit(2 * node, free, spare, now, horizon);
+  if (left != kNposInternal) return left;
+  return find_fit(2 * node + 1, free, spare, now, horizon);
+}
+
+std::uint32_t PendingIndex::take_first_backfill(int free, int spare,
+                                                double now, double horizon) {
+  const std::size_t pos = find_fit(1, free, spare, now, horizon);
+  if (pos == kNposInternal) return kNone;
+  const std::uint32_t job = job_[pos];
+  remove_at(pos);
+  return job;
+}
+
+std::uint32_t PendingIndex::take_min_key() {
+  std::size_t node = 1;
+  if (seg_key_[node] == kInfD) return kNone;  // empty (or keys unset)
+  while (node < cap_) {
+    // <= prefers the LEFT child on ties: leftmost argmin, the strict-<
+    // first-wins order of the reference scan.
+    node = seg_key_[2 * node] <= seg_key_[2 * node + 1] ? 2 * node
+                                                        : 2 * node + 1;
+  }
+  const std::size_t pos = node - cap_;
+  const std::uint32_t job = job_[pos];
+  remove_at(pos);
+  return job;
+}
+
+void PendingIndex::maybe_compact() {
+  if (dead_ < kMinCompact || dead_ < live_) return;
+  compact();
+}
+
+void PendingIndex::compact() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < job_.size(); ++r) {
+    if (job_[r] == kNone) continue;
+    job_[w] = job_[r];
+    procs_[w] = procs_[r];
+    time_[w] = time_[r];
+    key_[w] = key_[r];
+    ++w;
+  }
+  job_.resize(w);
+  procs_.resize(w);
+  time_.resize(w);
+  key_.resize(w);
+  dead_ = 0;
+  // Shrink the index toward the live size (never past the high-water mark,
+  // whose backing capacity is already reserved) so rebuild cost tracks the
+  // CURRENT queue, not its episode peak — amortized O(1) per removal.
+  cap_ = std::min(pow2_ceil(std::max<std::size_t>(kMinCompact, 2 * w)),
+                  cap_hw_);
+  rebuild();
+  // The window is the first win_job_.size() live slots; after compaction
+  // those occupy positions 0..k-1 in unchanged order.
+  for (std::size_t i = 0; i < win_pos_.size(); ++i) {
+    win_pos_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace rlsched::sim

@@ -1,0 +1,110 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+namespace rlsched::sim {
+
+void Timeline::reset(std::size_t expected) {
+  items_.clear();
+  prefix_.clear();
+  items_.reserve(expected);
+  prefix_.reserve(expected);
+  head_ = 0;
+  valid_ = 0;
+  popped_ = 0;
+}
+
+void Timeline::insert(double end, std::int32_t procs) {
+  // Live entries all end after the last pop_until() time and a new
+  // completion never precedes it, so the insert position is always inside
+  // the live region; ties insert after their group (order irrelevant —
+  // reservation() is group-accumulating).
+  const auto pos = std::upper_bound(
+      items_.begin() + static_cast<std::ptrdiff_t>(head_), items_.end(), end,
+      [](double v, const Completion& c) { return v < c.end; });
+  const auto idx = static_cast<std::size_t>(pos - items_.begin());
+  items_.insert(pos, {end, procs});
+  prefix_.resize(items_.size());
+  valid_ = std::min(valid_, idx);
+}
+
+int Timeline::pop_until(double t) {
+  int freed = 0;
+  while (head_ < items_.size() && items_[head_].end <= t) {
+    freed += items_[head_].procs;
+    popped_ += items_[head_].procs;
+    ++head_;
+  }
+  if (freed != 0) maybe_compact();
+  return freed;
+}
+
+void Timeline::maybe_compact() {
+  // Amortized: recycling costs O(live) and only fires once the dead prefix
+  // outweighs it, so the slab length tracks the live running set.
+  if (head_ < 64 || head_ * 2 < items_.size()) return;
+  items_.erase(items_.begin(),
+               items_.begin() + static_cast<std::ptrdiff_t>(head_));
+  prefix_.resize(items_.size());
+  head_ = 0;
+  valid_ = 0;
+  popped_ = 0;
+}
+
+void Timeline::repair_to(std::size_t i) {
+  while (valid_ <= i) {
+    prefix_[valid_] =
+        (valid_ == 0 ? 0 : prefix_[valid_ - 1]) + items_[valid_].procs;
+    ++valid_;
+  }
+}
+
+double Timeline::reservation(int free_now, int needed, double now,
+                             int* spare) {
+  const std::size_t n = items_.size();
+  // Smallest slab index whose cumulative live procs lifts free_now to
+  // `needed`: prefix_[i] - popped_ is the live cumulative through i.
+  const std::int64_t target = popped_ + (needed - free_now);
+  std::size_t cross = n;
+  if (valid_ > head_ && prefix_[valid_ - 1] >= target) {
+    // Cached region already crosses: pure O(log R) lookup.
+    const auto it = std::lower_bound(
+        prefix_.begin() + static_cast<std::ptrdiff_t>(head_),
+        prefix_.begin() + static_cast<std::ptrdiff_t>(valid_), target);
+    cross = static_cast<std::size_t>(it - prefix_.begin());
+  } else {
+    // Repair forward from the watermark until the crossing (or the end).
+    std::size_t i = std::max(valid_, head_);
+    if (head_ > 0) repair_to(head_ - 1);  // catch up through popped entries
+    for (; i < n; ++i) {
+      repair_to(i);
+      if (prefix_[i] >= target) {
+        cross = i;
+        break;
+      }
+    }
+  }
+  if (cross == n) {
+    if (spare != nullptr) {
+      std::int64_t total = free_now;
+      if (n > head_) {
+        repair_to(n - 1);
+        total += prefix_[n - 1] - popped_;
+      }
+      *spare = static_cast<int>(std::max<std::int64_t>(0, total - needed));
+    }
+    return now;
+  }
+  // Group semantics: spare counts EVERY completion tied at the crossing
+  // end time, so the result is independent of insertion order among ties.
+  const double e = items_[cross].end;
+  std::size_t last = cross;
+  while (last + 1 < n && items_[last + 1].end == e) ++last;
+  repair_to(last);
+  if (spare != nullptr) {
+    *spare = static_cast<int>(free_now + (prefix_[last] - popped_) - needed);
+  }
+  return e;
+}
+
+}  // namespace rlsched::sim

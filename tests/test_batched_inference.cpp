@@ -9,38 +9,7 @@
 #include <cstdlib>
 #include <new>
 
-static unsigned long long g_allocs = 0;
-
-void* operator new(std::size_t size) {
-  ++g_allocs;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  ++g_allocs;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-// Nothrow family too — a partial override mixes allocator families
-// (miscounts, and trips ASan's alloc-dealloc-mismatch check).
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_allocs;
-  return std::malloc(size);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_allocs;
-  return std::malloc(size);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+#include "counting_alloc.hpp"
 
 #include <vector>
 

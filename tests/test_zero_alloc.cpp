@@ -6,40 +6,7 @@
 #include <cstdlib>
 #include <new>
 
-static unsigned long long g_allocs = 0;
-
-void* operator new(std::size_t size) {
-  ++g_allocs;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  ++g_allocs;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-// The nothrow family must be overridden too (stable_sort's temporary
-// buffer uses it): a partial override would mix this file's malloc/free
-// with the runtime's operator new — miscounting here and an
-// alloc-dealloc-mismatch under ASan.
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_allocs;
-  return std::malloc(size);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_allocs;
-  return std::malloc(size);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+#include "counting_alloc.hpp"
 
 #include "nn/ops.hpp"
 #include "rl/observation.hpp"
@@ -56,17 +23,21 @@ int main() {
   const auto seq = trace.sequence(0, 512);
   const auto sjf = sched::sjf_priority();
 
-  // --- heuristic episode, with backfilling (the allocation-heavier path) ---
-  {
+  // --- heuristic episode, with backfilling (the allocation-heavier path),
+  // --- in BOTH run_priority kinds: the TimeVarying min-scan and the
+  // --- TimeInvariant min-key index (enable_keys + take_min_key + the
+  // --- pending-index compact/grow rebuilds must all stay in reserve) ---
+  for (const auto kind : {sim::PriorityKind::TimeVarying,
+                          sim::PriorityKind::TimeInvariant}) {
     sim::SchedulingEnv env(trace.processors(), {.backfill = true});
     env.reset(seq);
     const unsigned long long before = g_allocs;
-    const auto result = env.run_priority(sjf);
+    const auto result = env.run_priority(sjf, kind);
     const unsigned long long after = g_allocs;
     CHECK(result.jobs == seq.size());
     if (after != before) {
-      std::fprintf(stderr, "run_priority allocated %llu times\n",
-                   after - before);
+      std::fprintf(stderr, "run_priority (kind %d) allocated %llu times\n",
+                   static_cast<int>(kind), after - before);
       return 1;
     }
   }
