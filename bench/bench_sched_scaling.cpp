@@ -13,6 +13,15 @@
 //               deeper storms legitimately backfill MORE JOBS per decision
 //               (the bench prints starts/decision), so this curve is gated
 //               against its recorded baseline ratio, not a constant.
+//   fcfs_easy_adv  the same loop on an ADVERSARIAL staircase mix:
+//               anticorrelated procs/req_time ramps put every subtree's
+//               (min procs, min req_time) corner on two different jobs —
+//               the shape that degrades a corner-only backfill descent to
+//               O(P) node visits per query. The Pareto-staircase index
+//               must stay within 2x of the benign mix (the perf gate
+//               pins the ratio), and on RLSCHED_INDEX_STATS builds this
+//               bench additionally ASSERTS the worst-case-log node-visit
+//               bound per query on both mixes.
 //   kernel      ObservationBuilder + kernel-policy logits + masked argmax
 //               + step(): the Table IX decision cost on top of the core.
 //
@@ -40,7 +49,9 @@
 
 #include "../tests/counting_alloc.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -49,6 +60,7 @@
 #include "rl/observation.hpp"
 #include "rl/policy.hpp"
 #include "sim/env.hpp"
+#include "sim/pending_index.hpp"
 #include "sim/reference_env.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -90,6 +102,50 @@ Storm make_storm(std::uint64_t seed) {
 
 std::vector<trace::Job> slice(const Storm& s, std::size_t n) {
   return {s.jobs.begin(), s.jobs.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+/// Adversarial storm on the same cluster: the staircase-shaped mix from
+/// test_sched_core_equiv at backlog scale. Ramps of jobs with procs
+/// ascending while req_time descends mean a subtree's (min procs, min
+/// req_time) corner combines two DIFFERENT jobs — the plain corner prune
+/// passes while no actual job fits, which is what degrades a corner-only
+/// descent to O(P) visits per query. Full-width blockers pin the machine
+/// so most decisions answer the EASY query against a live reservation
+/// horizon.
+Storm make_adversarial_storm(std::uint64_t seed, int processors) {
+  util::Rng rng(seed ^ 0xA5D1u);
+  Storm s{processors, {}};
+  s.jobs.reserve(kBacklogs[2]);
+  std::int64_t id = 1;
+  while (s.jobs.size() < kBacklogs[2]) {
+    trace::Job blocker{};
+    blocker.id = id++;
+    blocker.submit_time = 0.0;
+    blocker.run_time = 60.0 + static_cast<double>(rng.below(5)) * 30.0;
+    blocker.requested_time = blocker.run_time;
+    blocker.requested_procs = processors;
+    s.jobs.push_back(blocker);
+    const std::size_t steps = 96 + rng.below(64);
+    for (std::size_t st = 0; st < steps && s.jobs.size() < kBacklogs[2];
+         ++st) {
+      trace::Job j{};
+      j.id = id++;
+      j.submit_time = 0.0;
+      j.requested_procs = std::min(
+          1 + static_cast<int>(
+                  (st * static_cast<std::size_t>(processors)) / steps),
+          processors);
+      j.requested_time = static_cast<double>((steps - st) * 15 + 30);
+      j.run_time =
+          rng.uniform() < 0.2
+              ? 0.0
+              : std::min(j.requested_time,
+                         static_cast<double>(5 + 10 * rng.below(6)));
+      j.user = static_cast<int>(rng.below(3));
+      s.jobs.push_back(j);
+    }
+  }
+  return s;
 }
 
 /// Time `decisions` scheduling decisions at a standing backlog, after
@@ -160,34 +216,49 @@ int main(int argc, char** argv) {
                                rl::kMaxObservable));
   };
 
-  // --- self-check: full 1k-storm episode, both cores, bitwise equal ---
-  {
-    const auto jobs = slice(storm, kBacklogs[0]);
-    sim::SchedulingEnv env(storm.processors, cfg);
-    sim::ReferenceEnv ref(storm.processors, cfg);
+  const Storm adv = make_adversarial_storm(seed, storm.processors);
+
+  // --- self-check: full 1k-storm episodes, both cores, bitwise equal ---
+  for (const Storm* s : {&storm, &adv}) {
+    const auto jobs = slice(*s, kBacklogs[0]);
+    sim::SchedulingEnv env(s->processors, cfg);
+    sim::ReferenceEnv ref(s->processors, cfg);
     env.reset(jobs);
     ref.reset(jobs);
     while (!env.done()) fcfs_step(env);
     while (!ref.done()) fcfs_step(ref);
     if (!sim::bitwise_equal(env.result(), ref.result())) {
       std::fprintf(stderr,
-                   "FATAL: indexed core != reference core on the 1k storm "
-                   "(run test_sched_core_equiv)\n");
+                   "FATAL: indexed core != reference core on the 1k %s "
+                   "storm (run test_sched_core_equiv)\n",
+                   s == &adv ? "adversarial" : "benign");
       return 1;
     }
   }
 
-  std::vector<Row> rows = {{"fcfs_plain", {}},  {"fcfs_easy", {}},
-                           {"kernel", {}},      {"ref_fcfs_plain", {}},
-                           {"ref_fcfs_easy", {}}, {"ref_kernel", {}}};
+  std::vector<Row> rows = {{"fcfs_plain", {}},    {"fcfs_easy", {}},
+                           {"fcfs_easy_adv", {}}, {"kernel", {}},
+                           {"ref_fcfs_plain", {}}, {"ref_fcfs_easy", {}},
+                           {"ref_kernel", {}}};
   const sim::EnvConfig plain_cfg{.backfill = false};
   sim::SchedulingEnv env(storm.processors, cfg);
   sim::SchedulingEnv env_plain(storm.processors, plain_cfg);
   sim::ReferenceEnv ref(storm.processors, cfg);
   sim::ReferenceEnv ref_plain(storm.processors, plain_cfg);
+  // Visits-per-query on the two backfilled mixes (RLSCHED_INDEX_STATS
+  // builds; zeros otherwise). Sampled across each row's warm + timed
+  // decisions — same regime either way.
+  double vpq_easy[3] = {}, vpq_adv[3] = {};
+  const auto vpq_sample = [&env] {
+    const std::uint64_t q = env.pending_index().fit_queries();
+    const double v = static_cast<double>(env.pending_index().fit_visits());
+    env.pending_index().reset_fit_stats();
+    return q > 0 ? v / static_cast<double>(q) : 0.0;
+  };
   for (std::size_t bi = 0; bi < 3; ++bi) {
     const std::size_t n = kBacklogs[bi];
     const auto jobs = slice(storm, n);
+    const auto jobs_adv = slice(adv, n);
     // Keep the backlog STANDING: measure a prefix of the episode so the
     // pending queue stays ~n deep. Both cores run the SAME warm + measured
     // decision range — the per-decision work mix at a given episode
@@ -197,16 +268,40 @@ int main(int argc, char** argv) {
     const int reps_ref = n >= kBacklogs[2] ? 1 : 2;
     rows[0].dps[bi] =
         decisions_per_sec(env_plain, jobs, k, reps_idx, true, fcfs_step);
+    env.pending_index().reset_fit_stats();
     rows[1].dps[bi] =
         decisions_per_sec(env, jobs, k, reps_idx, true, fcfs_step);
+    vpq_easy[bi] = vpq_sample();
     rows[2].dps[bi] =
-        decisions_per_sec(env, jobs, k, reps_idx, true, kernel_step);
+        decisions_per_sec(env, jobs_adv, k, reps_idx, true, fcfs_step);
+    vpq_adv[bi] = vpq_sample();
     rows[3].dps[bi] =
-        decisions_per_sec(ref_plain, jobs, k, reps_ref, false, fcfs_step);
+        decisions_per_sec(env, jobs, k, reps_idx, true, kernel_step);
     rows[4].dps[bi] =
-        decisions_per_sec(ref, jobs, k, reps_ref, false, fcfs_step);
+        decisions_per_sec(ref_plain, jobs, k, reps_ref, false, fcfs_step);
     rows[5].dps[bi] =
+        decisions_per_sec(ref, jobs, k, reps_ref, false, fcfs_step);
+    rows[6].dps[bi] =
         decisions_per_sec(ref, jobs, k, reps_ref, false, kernel_step);
+    if constexpr (sim::PendingIndex::kStatsEnabled) {
+      // The measurable worst-case-log claim: node visits per backfill
+      // query stay within a small multiple of log2(backlog) on BOTH
+      // mixes. A corner-only descent blows through this on the
+      // adversarial ramps (O(P) visits); the Pareto staircase must not.
+      const double bound =
+          8.0 * std::log2(static_cast<double>(n)) + 16.0;
+      const struct { const char* mix; double vpq; } checks[] = {
+          {"benign", vpq_easy[bi]}, {"adversarial", vpq_adv[bi]}};
+      for (const auto& c : checks) {
+        if (c.vpq > bound) {
+          std::fprintf(stderr,
+                       "FATAL: %s backfill descent visited %.1f nodes per "
+                       "query at backlog %zu (log bound %.1f)\n",
+                       c.mix, c.vpq, n, bound);
+          return 1;
+        }
+      }
+    }
   }
 
   std::fprintf(stderr,
@@ -222,15 +317,25 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "indexed vs reference at 64k: fcfs_plain %.1fx, fcfs_easy "
-               "%.1fx, kernel %.1fx\n",
-               rows[0].dps[2] / rows[3].dps[2],
-               rows[1].dps[2] / rows[4].dps[2],
-               rows[2].dps[2] / rows[5].dps[2]);
+               "%.1fx, kernel %.1fx; adversarial vs benign easy %.2fx\n",
+               rows[0].dps[2] / rows[4].dps[2],
+               rows[1].dps[2] / rows[5].dps[2],
+               rows[3].dps[2] / rows[6].dps[2],
+               rows[1].dps[2] / rows[2].dps[2]);
+  if constexpr (sim::PendingIndex::kStatsEnabled) {
+    std::fprintf(stderr,
+                 "backfill node visits/query: benign {%.1f, %.1f, %.1f}, "
+                 "adversarial {%.1f, %.1f, %.1f}\n",
+                 vpq_easy[0], vpq_easy[1], vpq_easy[2], vpq_adv[0],
+                 vpq_adv[1], vpq_adv[2]);
+  }
 
   if (json) {
     std::printf("{\n  \"bench\": \"bench_sched_scaling\",\n");
     std::printf("  \"backlogs\": [%zu, %zu, %zu],\n", kBacklogs[0],
                 kBacklogs[1], kBacklogs[2]);
+    std::printf("  \"index_stats\": %s,\n",
+                sim::PendingIndex::kStatsEnabled ? "true" : "false");
     std::printf("  \"metrics\": {\n");
     for (std::size_t r = 0; r < rows.size(); ++r) {
       std::printf("    \"%s\": {", rows[r].name.c_str());
@@ -240,6 +345,13 @@ int main(int argc, char** argv) {
       }
       std::printf("}%s\n", r + 1 < rows.size() ? "," : "");
     }
+    std::printf("  },\n  \"visits_per_query\": {\n");
+    std::printf("    \"fcfs_easy\": {\"n1k\": %.2f, \"n8k\": %.2f, "
+                "\"n64k\": %.2f},\n",
+                vpq_easy[0], vpq_easy[1], vpq_easy[2]);
+    std::printf("    \"fcfs_easy_adv\": {\"n1k\": %.2f, \"n8k\": %.2f, "
+                "\"n64k\": %.2f}\n",
+                vpq_adv[0], vpq_adv[1], vpq_adv[2]);
     std::printf("  }\n}\n");
   }
   return 0;

@@ -22,6 +22,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "nn/simd.hpp"
@@ -364,20 +365,43 @@ inline void avgpool2_backward(const float* dC, float* dA, std::size_t c,
 
 /// Index of the largest value whose mask byte is non-zero; ties break to the
 /// LOWEST index (deterministic), and an all-masked input returns 0.
+///
+/// Two passes: a branchless masked max (which vectorizes — the one-pass
+/// first-max scan carries a (best, found) recurrence that cannot), then the
+/// first index attaining it. Bit-identical to the one-pass scan for every
+/// NaN-free input: a strictly-greater update also keeps the FIRST index
+/// attaining the maximum, which is exactly what the equality scan returns
+/// (+-0.0 compare equal under both, so mixed zero signs tie to the lowest
+/// index either way). This scan runs once per scheduling decision, after
+/// dense layers that amortize to ~2 float ops per logit — at that scale the
+/// branchy scalar scan was a measurable slice of total decision latency.
 inline std::size_t argmax_masked(const float* v, const std::uint8_t* mask,
                                  std::size_t n) {
-  std::size_t best = 0;
-  bool found = false;
-  float best_v = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (mask[i] == 0) continue;
-    if (!found || v[i] > best_v) {
-      best = i;
-      best_v = v[i];
-      found = true;
-    }
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  float best_v = kNegInf;
+  std::size_t i = 0;
+#if RLSCHED_SIMD > 1
+  // Lane-parallel masked max. Max is an exact select (no rounding), so the
+  // lane partitioning cannot change best_v, and the index comes from the
+  // sequential equality scan below — the result is identical at every
+  // lane width, unlike the summing kernels.
+  const VecF vninf = vsplat(kNegInf);
+  VecF vb = vninf;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    vb = vmax(vb, vselect_bytes(mask + i, vload(v + i), vninf));
   }
-  return best;
+  for (std::size_t l = 0; l < kSimdLanes; ++l) {
+    best_v = vb[l] > best_v ? vb[l] : best_v;
+  }
+#endif
+  for (; i < n; ++i) {
+    const float x = mask[i] != 0 ? v[i] : kNegInf;
+    best_v = x > best_v ? x : best_v;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (mask[k] != 0 && v[k] == best_v) return k;
+  }
+  return 0;
 }
 
 template <std::size_t N>

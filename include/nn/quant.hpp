@@ -1,0 +1,96 @@
+#pragma once
+// Int8 quantized dense kernels for the policy-inference hot path.
+//
+// Scheme: per-tensor symmetric int8 WEIGHTS (scale = amax|w| / 127, zero
+// point 0) against unsigned 8-bit ACTIVATIONS (scale from a calibration
+// sweep; every activation this net sees is non-negative — the observation
+// features are log1p-normalized magnitudes and 0/1 flags, and the hidden
+// layers are relu'd). Accumulation is exact int32: with at most a few
+// hundred input channels, |acc| <= in_dim * 255 * 127 << 2^31, so every
+// backend — AVX-512 VNNI, the portable path, the scalar path — computes
+// the SAME integer, and bit-equality across them reduces to the shared
+// requantization arithmetic. Hidden-layer requantization is INTEGER-ONLY:
+// the layer's requant multiplier is constrained to a power of two
+// (s_out = s_in * s_w * 2^rshift, chosen by the calibrator), the bias and
+// the round-half-up constant are pre-folded into a per-channel int32
+// accumulator init, and the fused epilogue is
+//
+//   u8_out = clamp((dot + acc0[o]) >> rshift, 0, 255)
+//
+// (arithmetic shift; the 0-side of the clamp IS the relu). That keeps the
+// epilogue to one shift + two saturating packs per 64 outputs on the VNNI
+// path — the float multiply-round requant it replaces cost more port-0/5
+// uops than the MACs themselves on small layers. The power-of-two
+// constraint costs at most one bit of output resolution (the calibrator
+// rounds the scale UP, so activations never clip more than the measured
+// amax would). The final layer dequantizes to float instead:
+// out = fma(acc, s_in * s_w, bias_o), single-rounding fmaf scalar ==
+// _mm512_fmadd_ps vector, so the library output is bit-identical to the
+// naive scalar reference in tests/test_quant.cpp on every backend.
+//
+// Layout: both operands are packed GROUP-major for the u8x4 . s8x4 -> i32
+// MAC that VNNI's vpdpbusd executes natively (and the other backends
+// emulate): input channels are grouped in 4s, zero-padded past in_dim;
+// activation channel 4g+r of column j lives at aq[(g * J + j) * 4 + r],
+// weight (o, 4g+r) at wq[(o * G + g) * 4 + r]. Hidden layers write their
+// output directly in this layout (their out_dim is a multiple of 4), so
+// the whole stack runs packed end to end without transposes.
+//
+// The backend is a build-time choice on the nn/simd.hpp axis:
+// RLSCHED_SIMD == 1 forces the scalar loops (so the scalar CI cell
+// exercises this subsystem too); wider builds take vpdpbusd when the
+// target has AVX-512 VNNI and otherwise a portable auto-vectorizable
+// path. quant_isa() names the compiled backend so benches record it and
+// the perf gate refuses to compare speedup ratios across ISAs.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rlsched::nn {
+
+inline constexpr std::size_t kQuantGroup = 4;  ///< u8x4 . s8x4 MAC unit
+
+/// Input-channel groups covering in_dim (zero-padded to a multiple of 4).
+constexpr std::size_t quant_groups(std::size_t in_dim) {
+  return (in_dim + kQuantGroup - 1) / kQuantGroup;
+}
+
+/// The MAC backend compiled into this build: "avx512vnni", "generic", or
+/// "scalar".
+const char* quant_isa();
+
+/// Per-tensor symmetric scale amax(|w|) / 127. An all-zero tensor gets
+/// scale 1 so quantization maps it to exact zeros (never divides by 0).
+float weight_scale(const float* w, std::size_t count);
+
+/// Pack row-major [out_dim x in_dim] float weights into group-major s8:
+/// wq[(o * G + g) * 4 + r] = rne(clamp(w[o * in_dim + 4g + r] / scale,
+/// -127, 127)), zero past in_dim. wq must hold out_dim * G * 4 bytes.
+void pack_weights_s8(const float* w, std::size_t out_dim, std::size_t in_dim,
+                     float scale, std::int8_t* wq);
+
+/// Quantize an SoA float activation block (channel i of column j at
+/// a[i * stride + j], J columns) into group-major u8 packing;
+/// u8 = rne(clamp(a * inv_scale, 0, 255)), inv_scale = 1 / act_scale.
+/// Channels past in_dim pack as zero. aq must hold
+/// quant_groups(in_dim) * J * 4 bytes.
+void pack_acts_u8(const float* a, std::size_t in_dim, std::size_t J,
+                  std::size_t stride, float inv_scale, std::uint8_t* aq);
+
+/// One fused hidden layer over packed operands: exact-int32 MACs, then
+/// u8 = clamp((dot + acc0[o]) >> rshift, 0, 255) written group-major at
+/// out[(o/4 * J + j) * 4 + o%4] — directly the next layer's input.
+/// acc0[o] carries the requantized bias plus the round-half-up constant
+/// 2^(rshift-1); rshift in [0, 30]. Requires out_dim % 4 == 0 (true for
+/// every hidden layer here).
+void quant_dense_hidden(const std::uint8_t* aq, const std::int8_t* wq,
+                        std::size_t out_dim, std::size_t groups,
+                        std::size_t J, int rshift, const std::int32_t* acc0,
+                        std::uint8_t* out);
+
+/// Final (dequantizing) layer: out[o * J + j] = fma(acc, m, bias[o]).
+void quant_dense_f32(const std::uint8_t* aq, const std::int8_t* wq,
+                     std::size_t out_dim, std::size_t groups, std::size_t J,
+                     float m, const float* bias, float* out);
+
+}  // namespace rlsched::nn

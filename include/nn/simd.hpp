@@ -19,6 +19,7 @@
 // implementing the same lane order (tests/test_ops_simd.cpp).
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 // Full unrolling of the tiny constant-trip microkernel loops (nn/ops.hpp)
@@ -80,6 +81,36 @@ inline VecF vmask_relu(VecF c, VecF d) {
   return r;
 }
 
+/// Lane-wise exact max — a pure select, no rounding, so any lane
+/// partitioning of a max-reduction yields the same result.
+inline VecF vmax(VecF a, VecF b) {
+  VecF r;
+  for (std::size_t l = 0; l < kSimdLanes; ++l) {
+    r[l] = a[l] > b[l] ? a[l] : b[l];
+  }
+  return r;
+}
+
+/// Lane l takes x[l] where the mask BYTE m[l] is non-zero, else y[l].
+/// Widening the bytes and blending through integer bit ops (not a lane
+/// loop over mixed u8/float — that mix defeats auto-vectorization) keeps
+/// the select exact and branchless.
+using VecU8 = std::uint8_t __attribute__((vector_size(RLSCHED_SIMD)));
+using VecI = int __attribute__((vector_size(RLSCHED_SIMD * sizeof(int))));
+
+inline VecF vselect_bytes(const std::uint8_t* m, VecF x, VecF y) {
+  VecU8 mb;
+  std::memcpy(&mb, m, sizeof(mb));
+  const VecI sel = __builtin_convertvector(mb, VecI) != VecI{};  // -1 / 0
+  VecI xi, yi;
+  std::memcpy(&xi, &x, sizeof(xi));
+  std::memcpy(&yi, &y, sizeof(yi));
+  const VecI r = (xi & sel) | (yi & ~sel);
+  VecF out;
+  std::memcpy(&out, &r, sizeof(out));
+  return out;
+}
+
 /// Combine the lane accumulators with a FIXED pairwise tree:
 /// ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)) for 8 lanes, and so on. The tree
 /// shape is part of the kernel contract — it never depends on runtime sizes.
@@ -106,6 +137,10 @@ inline VecF vsplat(float x) { return VecF{x}; }
 inline VecF vmax0(VecF x) { return VecF{x.v > 0.0f ? x.v : 0.0f}; }
 inline VecF vmask_relu(VecF c, VecF d) {
   return VecF{c.v <= 0.0f ? 0.0f : d.v};
+}
+inline VecF vmax(VecF a, VecF b) { return VecF{a.v > b.v ? a.v : b.v}; }
+inline VecF vselect_bytes(const std::uint8_t* m, VecF x, VecF y) {
+  return VecF{*m != 0 ? x.v : y.v};
 }
 inline float lane_tree_sum(VecF x) { return x.v; }
 inline VecF operator+(VecF a, VecF b) { return VecF{a.v + b.v}; }

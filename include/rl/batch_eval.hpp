@@ -34,6 +34,13 @@ void batched_argmax(const Policy& policy, const Observation* const* obs,
                     std::size_t n, float* logits_slab,
                     std::uint32_t* actions);
 
+/// Same contract through the quantized forward (Policy::logits_quant_batch).
+/// With quantization disabled on the policy this IS batched_argmax — the
+/// float fallback makes the switch bitwise-invisible.
+void batched_argmax_quant(const Policy& policy, const Observation* const* obs,
+                          std::size_t n, float* logits_slab,
+                          std::uint32_t* actions);
+
 class BatchedEvaluator {
  public:
   /// `batch` = max windows per forward (clamped up from 0 to 1). The
@@ -48,9 +55,16 @@ class BatchedEvaluator {
 
   std::size_t batch() const { return batch_; }
 
+  /// Route decisions through the policy's quantized forward. No-op in
+  /// effect unless the policy has quantization enabled; off by default so
+  /// existing sweeps are bitwise untouched.
+  void set_use_quant(bool on) { use_quant_ = on; }
+  bool use_quant() const { return use_quant_; }
+
  private:
   const Policy& policy_;
   std::size_t batch_;
+  bool use_quant_ = false;
   ObservationBuilder builder_;
   std::vector<sim::SchedulingEnv> envs_;  ///< pooled across calls
   std::vector<Observation> obs_;

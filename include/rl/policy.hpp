@@ -73,6 +73,41 @@ class Policy {
 
   virtual PolicyKind kind() const = 0;
 
+  // --- int8 quantized inference (see nn/quant.hpp) ---
+  //
+  // Quantize-on-load: enable_quant() snapshots the CURRENT parameters
+  // into packed int8 weights and calibrates static activation scales from
+  // the given observations; parameter updates after that point do not
+  // flow into the quantized path until it is re-enabled. The float path
+  // is untouched and remains the default — with quantization disabled
+  // every logits_quant* call is the exact float computation, so schedules
+  // are bitwise unchanged.
+
+  /// True for policies with a native int8 path (the kernel policy).
+  virtual bool supports_quant() const { return false; }
+
+  /// Quantize current weights and calibrate activation scales from `n`
+  /// representative observations (n == 0 falls back to unit scales).
+  /// Returns false (and stays on float) for unsupported policies.
+  virtual bool enable_quant(const Observation* const* calib, std::size_t n) {
+    (void)calib;
+    (void)n;
+    return false;
+  }
+  virtual void disable_quant() {}
+  virtual bool quant_enabled() const { return false; }
+
+  /// Quantized counterparts of logits() / logits_batch(). Batched rows
+  /// are bitwise identical to the unbatched quantized forward; with
+  /// quantization disabled both defer to the float path exactly.
+  virtual Logits logits_quant(const Observation& obs) const {
+    return logits(obs);
+  }
+  virtual void logits_quant_batch(const Observation* const* obs,
+                                  std::size_t n, float* out) const {
+    logits_batch(obs, n, out);
+  }
+
   std::size_t parameter_count() const { return params_.size(); }
   std::vector<float>& param_vector() { return params_; }
   const std::vector<float>& param_vector() const { return params_; }

@@ -218,6 +218,11 @@ class SchedulingEnv {
   /// tracks; equals the full episode length when materialized.
   std::size_t buffered_jobs() const { return jobs_.size(); }
 
+  /// Read-only view of the pending-queue index, for the descent
+  /// instrumentation (bench_sched_scaling's node-visit assertions). The
+  /// stats accessors are the only intended use.
+  const PendingIndex& pending_index() const { return pending_; }
+
   /// Metrics of the (possibly partial) schedule so far.
   RunResult result() const;
 

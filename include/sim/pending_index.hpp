@@ -13,15 +13,25 @@
 //    window (the first min(live, window_cap) live jobs in queue order)
 //    that policies read as a zero-copy span;
 //  * a segment tree of (min requested_procs, min requested_time) per
-//    subtree — the EASY backfill query "first job in queue order that fits
-//    free/spare/window" descends it, pruning every subtree that provably
-//    contains no eligible job. Leaf tests reproduce the reference scan's
-//    comparisons bitwise, so the job picked is IDENTICAL to a full
-//    front-to-back rescan; the descent only visits subtrees whose
-//    (min procs, min requested time) pair cannot rule them out, which
-//    collapses the seed's O(P) pass-per-start to near-O(log P) on real
-//    backlogs (worst case remains O(P) for adversarial procs/time mixes —
-//    correctness never depends on the pruning being tight);
+//    subtree, augmented (when the backfill index is enabled at reset) with
+//    a small PARETO STAIRCASE per node: the undominated set of
+//    (procs, req_time) pairs in the subtree, procs ascending / req_time
+//    descending, capped at kStairCap points. When a merge overflows the
+//    cap, the tail collapses to its lower-left CORNER (min procs, min
+//    req_time of the collapsed run) — a point that dominates everything it
+//    replaced, so the staircase always UNDER-approximates the subtree in
+//    the dominance order and a failed staircase probe proves no job below
+//    the node is eligible. The EASY backfill query "first job in queue
+//    order that fits free/spare/window" descends the tree pruning each
+//    subtree with one O(kStairCap) staircase probe; leaf probes hold the
+//    job's exact values, reproducing the reference scan's comparisons
+//    bitwise, so the job picked is IDENTICAL to a full front-to-back
+//    rescan. Anticorrelated procs/req_time mixes that defeat the plain
+//    (min, min) corner — the pairs come from DIFFERENT jobs, so the old
+//    prune never fires and the descent degrades to O(P) — are pruned at
+//    the root whenever the mix has at most kStairCap modes; richer mixes
+//    degrade gracefully toward the corner bound (pruning tightness — not
+//    correctness — is the only thing the cap trades away);
 //  * a segment tree of min static priority key — O(log P) leftmost-argmin
 //    for TIME-INVARIANT heuristics (FCFS/SJF/F1), matching the reference
 //    scan's strict-< first-wins tie semantics. Keys are computed once per
@@ -40,15 +50,32 @@
 #include <span>
 #include <vector>
 
+// Debug/bench-only descent instrumentation (node-visit counters for the
+// worst-case-log claim). Off by default; a compile-time constant so the
+// disabled build carries literally zero cost on the hot path.
+#ifndef RLSCHED_INDEX_STATS
+#define RLSCHED_INDEX_STATS 0
+#endif
+
 namespace rlsched::sim {
 
 class PendingIndex {
  public:
   static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
 
+  /// Node-visit instrumentation is compiled in (cmake
+  /// -DRLSCHED_INDEX_STATS=ON). When false the counters stay zero and the
+  /// increments are compiled out entirely.
+  static constexpr bool kStatsEnabled = RLSCHED_INDEX_STATS != 0;
+
   /// Drop all slots; reserve for `expected` arrivals and a dense window of
-  /// `window_cap` jobs. Capacity is retained across resets.
-  void reset(std::size_t expected, std::size_t window_cap);
+  /// `window_cap` jobs. Capacity is retained across resets. `fit_index`
+  /// enables the Pareto-staircase backfill index; pass false for episodes
+  /// that never call take_first_backfill() (no backfilling) to skip its
+  /// per-mutation maintenance — the plain (min, min) subtree corners keep
+  /// the query correct either way.
+  void reset(std::size_t expected, std::size_t window_cap,
+             bool fit_index = true);
 
   std::size_t live() const { return live_; }
   bool empty() const { return live_ == 0; }
@@ -73,6 +100,15 @@ class PendingIndex {
   /// Returns kNone when no pending job qualifies.
   std::uint32_t take_first_backfill(int free, int spare, double now,
                                     double horizon);
+
+  // --- descent instrumentation (kStatsEnabled builds only; zeros else) ---
+
+  /// Backfill queries answered since the last reset_fit_stats().
+  std::uint64_t fit_queries() const { return fit_queries_; }
+  /// Segment-tree nodes visited across those queries. visits/queries is
+  /// the measured worst-case-log evidence bench_sched_scaling asserts on.
+  std::uint64_t fit_visits() const { return fit_visits_; }
+  void reset_fit_stats() const { fit_queries_ = fit_visits_ = 0; }
 
   // --- static-key heuristic index (run_priority TimeInvariant mode) ---
 
@@ -133,10 +169,28 @@ class PendingIndex {
   static constexpr std::size_t kMinCompact = 64;
   static const double kInfKey;
 
+  /// Staircase width per node. Mixes with at most this many Pareto modes
+  /// are pruned exactly; wider mixes collapse their tail to a corner
+  /// (conservative: never prunes a subtree that could hold an eligible
+  /// job). 8 covers every adversarial generator in the equivalence suite
+  /// while keeping the per-node probe a handful of compares.
+  static constexpr std::size_t kStairCap = 8;
+
+  /// One staircase point: procs ascending, req_time strictly descending
+  /// along a node's staircase. Points are job values except where a
+  /// truncation corner replaced a run (then they lower-bound the run).
+  struct StairPt {
+    std::int32_t procs;
+    double time;
+  };
+
   void fen_add(std::size_t pos, std::int32_t delta);
   std::size_t fen_select(std::size_t k) const;  ///< k-th live slot, k >= 1
   void seg_set(std::size_t pos);
   void seg_clear(std::size_t pos);
+  void stair_pull(std::size_t node);  ///< node staircase := merge(children)
+  bool stair_admits(std::size_t node, int free, int spare, double now,
+                    double horizon) const;
   std::size_t find_fit(std::size_t node, int free, int spare, double now,
                        double horizon) const;
   void rebuild();       ///< Fenwick + procs/time (+ keys) from slot arrays
@@ -162,6 +216,10 @@ class PendingIndex {
   std::vector<double> seg_time_;
   std::vector<double> seg_key_;
   bool use_keys_ = false;
+  bool fit_index_ = true;  ///< staircases maintained (backfill episodes)
+  std::vector<StairPt> stair_;        ///< node n's points at n * kStairCap
+  std::vector<std::uint8_t> stair_n_; ///< points per node (0 = empty)
+  mutable std::uint64_t fit_queries_ = 0, fit_visits_ = 0;
 
   std::size_t window_cap_ = 0;
   std::vector<std::uint32_t> win_job_;  ///< dense window, queue order

@@ -13,14 +13,20 @@
 #                         a per-file + total line-coverage summary (llvm-cov
 #                         for clang builds, gcov for gcc); defaults the
 #                         build type to Debug and skips the perf smoke
-#   --perf                build Release and run both perf gates against
+#   --perf                build Release and run the perf gates against
 #                         bench/baseline.json via scripts/perf_gate.py —
 #                         the same gates the hosted `perf` CI job runs:
 #                         bench_batch_inference (+-25% on batching
-#                         speedups, 2x hard floor at B=32 vs B=1) and
+#                         speedups, 2x hard floor at B=32 vs B=1),
 #                         bench_sched_scaling (backlog-flatness of the
 #                         indexed scheduling core 1k->64k, >=10x
-#                         decisions/sec vs the frozen ReferenceEnv at 64k).
+#                         decisions/sec vs the frozen ReferenceEnv at 64k,
+#                         adversarial staircase mix within 2x of benign),
+#                         and bench_decision_latency (int8 kernel-policy
+#                         inference >= 5x float32 at B=32). The perf build
+#                         configures -DRLSCHED_INDEX_STATS=ON so the
+#                         scaling bench reports (and the gate pins)
+#                         backfill node visits per query.
 #                         Skips ctest (the matrix jobs own correctness).
 #   build-dir             defaults to ./build (or ./build-<sanitizers>,
 #                         ./build-coverage)
@@ -93,6 +99,18 @@ if [ -n "${RLSCHED_SIMD:-}" ]; then
   # with RLSCHED_SIMD=1 so the fallback kernels stay exercised.
   CMAKE_ARGS+=(-DRLSCHED_SIMD="$RLSCHED_SIMD")
 fi
+if [ -n "${RLSCHED_INDEX_STATS:-}" ]; then
+  # Compile the PendingIndex descent counters in (the scalar CI cell sets
+  # this so the worst-case-log assertions run without vector units too).
+  CMAKE_ARGS+=(-DRLSCHED_INDEX_STATS="$RLSCHED_INDEX_STATS")
+fi
+if [ -n "$PERF" ]; then
+  # The scaling gate pins backfill node visits per query — a pure
+  # algorithmic count that needs the instrumented index. The counters are
+  # plain increments costing ~2% on the backfilled rows; the baseline was
+  # recorded with them on.
+  CMAKE_ARGS+=(-DRLSCHED_INDEX_STATS=ON)
+fi
 if [ -n "$COVERAGE" ]; then
   CMAKE_ARGS+=(-DRLSCHED_COVERAGE=ON)
   # Coverage numbers on optimized code blame the wrong lines; default to
@@ -138,11 +156,16 @@ if [ -n "$PERF" ]; then
     > "$BUILD_DIR/bench_batch_inference.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_batch_inference.json" --tolerance 0.25
-  step "scheduling-core scaling gate (flat 1k->64k, >=10x vs reference)"
+  step "scheduling-core scaling gate (flat 1k->64k, >=10x vs reference, adversarial <= 2x benign)"
   "$BUILD_DIR/bench/bench_sched_scaling" --json \
     > "$BUILD_DIR/bench_sched_scaling.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_sched_scaling.json" --tolerance 0.25
+  step "quantized decision-latency gate (int8 >= 5x f32 at B=32)"
+  "$BUILD_DIR/bench/bench_decision_latency" --json \
+    > "$BUILD_DIR/bench_decision_latency.json"
+  python3 scripts/perf_gate.py bench/baseline.json \
+    "$BUILD_DIR/bench_decision_latency.json" --tolerance 0.25
   printf '%s== perf gates passed ==%s\n' "$GREEN" "$RESET"
   exit 0
 fi

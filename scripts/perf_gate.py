@@ -37,9 +37,29 @@ bench_sched_scaling — indexed scheduling core on storm backlogs:
   tentpole targets), >= 2x on kernel (where policy inference, not the
   simulator, dominates both cores by design).
 
+* ADVERSARIAL STAIRCASE MIX: fcfs_easy_adv (anticorrelated procs/req_time
+  ramps — the shape that degrades a corner-only backfill descent to O(P))
+  must stay within a hard 2x of the benign fcfs_easy throughput at the 64k
+  backlog, and on RLSCHED_INDEX_STATS builds the measured backfill NODE
+  VISITS per query — a pure algorithmic count, host-independent — are
+  gated directly: adversarial <= 2x benign at 64k, and both mixes within
+  tolerance of the recorded baseline counts.
+
 * ABSOLUTE decisions/sec and indexed-vs-reference speedups are also
   compared against the baseline but only WARN: hosted CI machines
   legitimately differ by more than any useful tolerance.
+
+bench_decision_latency — quantized kernel-policy decision path:
+
+* HARD FLOOR: int8 decisions/sec >= 5x float32 at B=32 (same run, same
+  host, so machine speed divides out). int8/f32 ratios at B=1 and B=32
+  are additionally gated against the baseline with the tolerance band.
+
+* quant_isa is a HOST property (the int8 kernel dispatches on CPUID at
+  load): a run whose quant_isa differs from the baseline produces honest
+  numbers the floor was never recorded for, so the gate WARNS and skips
+  rather than failing. simd_lanes/pool_windows are BUILD properties — a
+  mismatch there is a config error and fails hard.
 
 Exit status: 0 = gate passed, 1 = regression or floor violation,
 2 = usage/config error.
@@ -170,9 +190,119 @@ def check_sched_scaling(baseline_doc, current_doc, tolerance):
 
         warn_absolute(name, base, cur, ("n1k", "n8k", "n64k"), tolerance)
 
+    # Adversarial staircase mix throughput: the two mixes do genuinely
+    # different per-decision work (the adversarial storm keeps the machine
+    # blocked, so every decision runs a live reservation + full backfill
+    # scan), so wall-clock only WARNS against the recorded slowdown band.
+    # The worst-case claim itself gates on NODE VISITS below — a pure
+    # algorithmic count, identical on every host.
+    cur_adv = current.get("fcfs_easy_adv")
+    base_adv = baseline.get("fcfs_easy_adv")
+    if cur_adv is None:
+        fail("metric 'fcfs_easy_adv' missing from current run")
+    elif base_adv is None:
+        fail("metric 'fcfs_easy_adv' missing from baseline — refresh "
+             "bench/baseline.json with the full bench output")
+    else:
+        slowdown = current["fcfs_easy"]["n64k"] / cur_adv["n64k"]
+        base_slow = baseline["fcfs_easy"]["n64k"] / base_adv["n64k"]
+        print(f"{'fcfs_easy_adv':16s} adversarial vs benign at 64k "
+              f"{slowdown:7.2f}x slower (baseline {base_slow:.2f}x)")
+        if slowdown > base_slow * (1.0 + tolerance):
+            print(f"WARN: adversarial mix slowed {slowdown:.2f}x vs the "
+                  f"baseline {base_slow:.2f}x band — check the node-visit "
+                  f"gate below for the algorithmic signal")
+        warn_absolute("fcfs_easy_adv", base_adv, cur_adv,
+                      ("n1k", "n8k", "n64k"), tolerance)
+
+    # Node visits per backfill query: a pure algorithmic count, identical
+    # on every host, so it gates HARD against the baseline. Only
+    # RLSCHED_INDEX_STATS builds report it (check.sh --perf configures
+    # the perf build with it ON).
+    if not current_doc.get("index_stats"):
+        print("WARN: node-visit gate skipped — bench built without "
+              "RLSCHED_INDEX_STATS (check.sh --perf turns it on)")
+        return
+    cur_vpq = current_doc.get("visits_per_query", {})
+    base_vpq = baseline_doc.get("visits_per_query", {})
+    for mix in ("fcfs_easy", "fcfs_easy_adv"):
+        if mix not in cur_vpq or mix not in base_vpq:
+            fail(f"visits_per_query '{mix}' missing from "
+                 f"{'current run' if mix not in cur_vpq else 'baseline'}")
+            return
+        limit = base_vpq[mix]["n64k"] * (1.0 + tolerance)
+        got = cur_vpq[mix]["n64k"]
+        status = "ok" if got <= limit else "FAIL"
+        print(f"{mix:16s} node visits/query at 64k {got:7.2f} "
+              f"(baseline {base_vpq[mix]['n64k']:.2f}, gate <= "
+              f"{limit:.2f}) {status}")
+        if got > limit:
+            fail(f"{mix} backfill descent regressed: {got:.2f} node "
+                 f"visits per query at 64k (gate <= {limit:.2f})")
+    ratio = cur_vpq["fcfs_easy_adv"]["n64k"] / max(
+        cur_vpq["fcfs_easy"]["n64k"], 1e-9)
+    status = "ok" if ratio <= 2.0 else "FAIL"
+    print(f"{'visits ratio':16s} adversarial/benign at 64k {ratio:7.2f}x "
+          f"(gate <= 2.00x) {status}")
+    if ratio > 2.0:
+        fail(f"adversarial backfill descent visits {ratio:.2f}x the "
+             f"benign mix's nodes per query at 64k (gate <= 2.00x)")
+
+
+def check_decision_latency(baseline_doc, current_doc, tolerance):
+    # simd_lanes/pool_windows are BUILD properties: a mismatch means the
+    # baseline was never recorded for this binary — config error.
+    for field in ("simd_lanes", "pool_windows"):
+        if baseline_doc.get(field) != current_doc.get(field):
+            fail(f"bench config mismatch: {field} is "
+                 f"{current_doc.get(field)} here but the baseline was "
+                 f"recorded at {baseline_doc.get(field)} — refresh "
+                 f"bench/baseline.json for this build configuration")
+            return
+    # quant_isa is a HOST property (CPUID dispatch at weight-load time):
+    # a generic host produces honest int8 numbers the floor was never
+    # recorded against, so skip with a warning instead of failing.
+    if baseline_doc.get("quant_isa") != current_doc.get("quant_isa"):
+        print(f"WARN: quantized-inference gate skipped — this host "
+              f"dispatches quant_isa={current_doc.get('quant_isa')} but "
+              f"the baseline was recorded on "
+              f"{baseline_doc.get('quant_isa')}")
+        return
+
+    baseline = baseline_doc["metrics"]
+    current = current_doc["metrics"]
+    for name in ("kernel_f32", "kernel_int8"):
+        if name not in current:
+            fail(f"metric '{name}' missing from current run")
+            return
+
+    for b in ("b1", "b32"):
+        base_ratio = baseline["kernel_int8"][b] / baseline["kernel_f32"][b]
+        cur_ratio = current["kernel_int8"][b] / current["kernel_f32"][b]
+        floor = base_ratio * (1.0 - tolerance)
+        status = "ok" if cur_ratio >= floor else "FAIL"
+        print(f"{'int8/f32':16s} {b} speedup {cur_ratio:7.2f}x (baseline "
+              f"{base_ratio:.2f}x, gate >= {floor:.2f}x) {status}")
+        if cur_ratio < floor:
+            fail(f"int8/f32 {b} speedup regressed: {cur_ratio:.2f}x < "
+                 f"{floor:.2f}x")
+
+    got = current["kernel_int8"]["b32"] / current["kernel_f32"]["b32"]
+    status = "ok" if got >= 5.0 else "FAIL"
+    print(f"{'int8/f32':16s} hard floor at B=32 {got:7.2f}x "
+          f"(required >= 5.0x) {status}")
+    if got < 5.0:
+        fail(f"quantized inference floor violated: int8 is only "
+             f"{got:.2f}x float32 at B=32 (required >= 5.0x)")
+
+    for name in ("kernel_f32", "kernel_int8"):
+        warn_absolute(name, baseline[name], current[name], ("b1", "b32"),
+                      tolerance)
+
 
 CHECKERS = {
     "bench_batch_inference": check_batch_inference,
+    "bench_decision_latency": check_decision_latency,
     "bench_sched_scaling": check_sched_scaling,
 }
 

@@ -1,0 +1,350 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "nn/simd.hpp"
+
+// Backend choice (see quant.hpp): the VNNI path needs both the ISA and a
+// wide RLSCHED_SIMD build — forcing RLSCHED_SIMD=1 must force the scalar
+// loops here exactly as it does for the float kernels in nn/ops.hpp.
+#if RLSCHED_SIMD >= 8 && defined(__AVX512VNNI__) && defined(__AVX512F__) && \
+    defined(__AVX512BW__)
+#define RLSCHED_QUANT_VNNI 1
+#include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12's avx512fintrin.h trips -Wmaybe-uninitialized (and, at -O3,
+// -Wuninitialized) on the intrinsics' internal __Y temporaries when they
+// inline into loops (upstream false positive); the kernels below never
+// read uninitialized state.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+#else
+#define RLSCHED_QUANT_VNNI 0
+#endif
+
+namespace rlsched::nn {
+
+const char* quant_isa() {
+#if RLSCHED_QUANT_VNNI
+  return "avx512vnni";
+#elif RLSCHED_SIMD > 1
+  return "generic";
+#else
+  return "scalar";
+#endif
+}
+
+float weight_scale(const float* w, std::size_t count) {
+  float amax = 0.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    amax = std::max(amax, std::fabs(w[i]));
+  }
+  return amax > 0.0f ? amax / 127.0f : 1.0f;
+}
+
+void pack_weights_s8(const float* w, std::size_t out_dim, std::size_t in_dim,
+                     float scale, std::int8_t* wq) {
+  const std::size_t groups = quant_groups(in_dim);
+  const float inv = 1.0f / scale;
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t r = 0; r < kQuantGroup; ++r) {
+        const std::size_t i = kQuantGroup * g + r;
+        float t = i < in_dim ? w[o * in_dim + i] * inv : 0.0f;
+        t = std::min(std::max(t, -127.0f), 127.0f);
+        wq[(o * groups + g) * kQuantGroup + r] =
+            static_cast<std::int8_t>(
+                static_cast<std::int32_t>(std::nearbyintf(t)));
+      }
+    }
+  }
+}
+
+namespace {
+
+// Shared scalar arithmetic — the single definition every backend (and the
+// vector paths' ragged tails) must agree with bitwise.
+inline std::uint8_t quantize_u8(float t) {
+  t = std::min(std::max(t, 0.0f), 255.0f);
+  return static_cast<std::uint8_t>(
+      static_cast<std::int32_t>(std::nearbyintf(t)));
+}
+
+/// The integer hidden-layer epilogue: arithmetic shift (C++20 defines >>
+/// of negatives as arithmetic), then clamp. acc0 — bias + rounding — was
+/// already folded into the accumulator by the caller.
+inline std::uint8_t requant_u8(std::int32_t acc, int rshift) {
+  const std::int32_t t = acc >> rshift;
+  return static_cast<std::uint8_t>(std::min(std::max(t, 0), 255));
+}
+
+/// Exact int32 dot of one activation column against one weight row, both
+/// group-packed. Every backend reduces to this value (integer addition is
+/// associative), so MAC order can differ freely across backends.
+inline std::int32_t dot_column(const std::uint8_t* aq, const std::int8_t* wq,
+                               std::size_t groups, std::size_t J,
+                               std::size_t j) {
+  std::int32_t acc = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint8_t* a = aq + (g * J + j) * kQuantGroup;
+    const std::int8_t* w = wq + g * kQuantGroup;
+    acc += static_cast<std::int32_t>(a[0]) * w[0] +
+           static_cast<std::int32_t>(a[1]) * w[1] +
+           static_cast<std::int32_t>(a[2]) * w[2] +
+           static_cast<std::int32_t>(a[3]) * w[3];
+  }
+  return acc;
+}
+
+#if RLSCHED_QUANT_VNNI
+/// Weight dword (4 packed s8) broadcast to every i32 lane.
+using may_alias_i32 = std::int32_t __attribute__((may_alias));
+inline __m512i bcast_w4(const std::int8_t* w) {
+  return _mm512_set1_epi32(
+      *reinterpret_cast<const may_alias_i32*>(w));
+}
+
+/// Per-128b-lane 4x4 byte transpose: packs emit [r0 j0..3 | r1 j0..3 |
+/// r2 j0..3 | r3 j0..3] per lane, the next layer wants j-major groups.
+inline __m512i pack_shuffle() {
+  return _mm512_broadcast_i32x4(_mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2,
+                                              6, 10, 14, 3, 7, 11, 15));
+}
+
+/// Integer epilogue for 4 output rows x 16 columns: arithmetic shift, then
+/// packs_epi32 (i32 -> i16, saturating: the low clamp) + packus_epi16
+/// (i16 -> u8, saturating: the 255 clamp) + byte transpose. Saturation
+/// composes to exactly clamp((acc >> s), 0, 255): any i32 above 255
+/// saturates through 32767 -> 255, anything negative through -32768 -> 0.
+inline __m512i requant4(__m512i a0, __m512i a1, __m512i a2, __m512i a3,
+                        __m512i vshift, __m512i shuf) {
+  const __m512i t0 = _mm512_srav_epi32(a0, vshift);
+  const __m512i t1 = _mm512_srav_epi32(a1, vshift);
+  const __m512i t2 = _mm512_srav_epi32(a2, vshift);
+  const __m512i t3 = _mm512_srav_epi32(a3, vshift);
+  const __m512i b = _mm512_packus_epi16(_mm512_packs_epi32(t0, t1),
+                                        _mm512_packs_epi32(t2, t3));
+  return _mm512_shuffle_epi8(b, shuf);
+}
+
+/// The 4-row x 64-column MAC+epilogue tile, GROUPS known at compile time
+/// so the dot loop fully unrolls (the policy's layers hit 2, 8, 4).
+template <int GROUPS>
+void hidden_tile64(const std::uint8_t* aq, const std::int8_t* w0,
+                   const std::int8_t* w1, const std::int8_t* w2,
+                   const std::int8_t* w3, std::size_t J, std::size_t j0,
+                   __m512i i0, __m512i i1, __m512i i2, __m512i i3,
+                   __m512i vshift, __m512i shuf, std::uint8_t* dst) {
+  __m512i a0 = i0, a1 = i1, a2 = i2, a3 = i3;
+  __m512i b0 = i0, b1 = i1, b2 = i2, b3 = i3;
+  __m512i c0 = i0, c1 = i1, c2 = i2, c3 = i3;
+  __m512i d0 = i0, d1 = i1, d2 = i2, d3 = i3;
+  for (int g = 0; g < GROUPS; ++g) {
+    const std::uint8_t* col = aq + (g * J + j0) * kQuantGroup;
+    const __m512i avA = _mm512_loadu_si512(col);
+    const __m512i avB = _mm512_loadu_si512(col + 64);
+    const __m512i avC = _mm512_loadu_si512(col + 128);
+    const __m512i avD = _mm512_loadu_si512(col + 192);
+    const __m512i q0 = bcast_w4(w0 + g * kQuantGroup);
+    const __m512i q1 = bcast_w4(w1 + g * kQuantGroup);
+    const __m512i q2 = bcast_w4(w2 + g * kQuantGroup);
+    const __m512i q3 = bcast_w4(w3 + g * kQuantGroup);
+    a0 = _mm512_dpbusd_epi32(a0, avA, q0);
+    a1 = _mm512_dpbusd_epi32(a1, avA, q1);
+    a2 = _mm512_dpbusd_epi32(a2, avA, q2);
+    a3 = _mm512_dpbusd_epi32(a3, avA, q3);
+    b0 = _mm512_dpbusd_epi32(b0, avB, q0);
+    b1 = _mm512_dpbusd_epi32(b1, avB, q1);
+    b2 = _mm512_dpbusd_epi32(b2, avB, q2);
+    b3 = _mm512_dpbusd_epi32(b3, avB, q3);
+    c0 = _mm512_dpbusd_epi32(c0, avC, q0);
+    c1 = _mm512_dpbusd_epi32(c1, avC, q1);
+    c2 = _mm512_dpbusd_epi32(c2, avC, q2);
+    c3 = _mm512_dpbusd_epi32(c3, avC, q3);
+    d0 = _mm512_dpbusd_epi32(d0, avD, q0);
+    d1 = _mm512_dpbusd_epi32(d1, avD, q1);
+    d2 = _mm512_dpbusd_epi32(d2, avD, q2);
+    d3 = _mm512_dpbusd_epi32(d3, avD, q3);
+  }
+  _mm512_storeu_si512(dst, requant4(a0, a1, a2, a3, vshift, shuf));
+  _mm512_storeu_si512(dst + 64, requant4(b0, b1, b2, b3, vshift, shuf));
+  _mm512_storeu_si512(dst + 128, requant4(c0, c1, c2, c3, vshift, shuf));
+  _mm512_storeu_si512(dst + 192, requant4(d0, d1, d2, d3, vshift, shuf));
+}
+
+template <int GROUPS>
+void hidden_rows4(const std::uint8_t* aq, const std::int8_t* w0,
+                  const std::int8_t* w1, const std::int8_t* w2,
+                  const std::int8_t* w3, std::size_t J, std::size_t* j0,
+                  __m512i i0, __m512i i1, __m512i i2, __m512i i3,
+                  __m512i vshift, __m512i shuf, std::uint8_t* out_row) {
+  for (; *j0 + 64 <= J; *j0 += 64) {
+    hidden_tile64<GROUPS>(aq, w0, w1, w2, w3, J, *j0, i0, i1, i2, i3,
+                          vshift, shuf, out_row + *j0 * kQuantGroup);
+  }
+  for (; *j0 + 16 <= J; *j0 += 16) {
+    __m512i a0 = i0, a1 = i1, a2 = i2, a3 = i3;
+    for (int g = 0; g < GROUPS; ++g) {
+      const __m512i av =
+          _mm512_loadu_si512(aq + (g * J + *j0) * kQuantGroup);
+      a0 = _mm512_dpbusd_epi32(a0, av, bcast_w4(w0 + g * kQuantGroup));
+      a1 = _mm512_dpbusd_epi32(a1, av, bcast_w4(w1 + g * kQuantGroup));
+      a2 = _mm512_dpbusd_epi32(a2, av, bcast_w4(w2 + g * kQuantGroup));
+      a3 = _mm512_dpbusd_epi32(a3, av, bcast_w4(w3 + g * kQuantGroup));
+    }
+    _mm512_storeu_si512(out_row + *j0 * kQuantGroup,
+                        requant4(a0, a1, a2, a3, vshift, shuf));
+  }
+}
+#endif
+
+}  // namespace
+
+void pack_acts_u8(const float* a, std::size_t in_dim, std::size_t J,
+                  std::size_t stride, float inv_scale, std::uint8_t* aq) {
+  const std::size_t groups = quant_groups(in_dim);
+  std::size_t j0 = 0;
+#if RLSCHED_QUANT_VNNI
+  // min at 255.0 BEFORE the rne convert: cvtps_epi32 of a huge float
+  // yields INT_MIN, which the saturating packs would turn into 0 instead
+  // of 255. With the min, clamp-then-rne == rne-then-saturate exactly
+  // (rne is monotone and the clamp endpoints are integers); the low clamp
+  // is the packs_epi32 saturation.
+  const __m512 vinv = _mm512_set1_ps(inv_scale);
+  const __m512 v255 = _mm512_set1_ps(255.0f);
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i shuf = pack_shuffle();
+  for (; j0 + 16 <= J; j0 += 16) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      __m512i t[kQuantGroup];
+      for (std::size_t r = 0; r < kQuantGroup; ++r) {
+        const std::size_t i = kQuantGroup * g + r;
+        t[r] = i < in_dim
+                   ? _mm512_cvtps_epi32(_mm512_min_ps(
+                         _mm512_mul_ps(_mm512_loadu_ps(a + i * stride + j0),
+                                       vinv),
+                         v255))
+                   : zero;
+      }
+      const __m512i b = _mm512_packus_epi16(_mm512_packs_epi32(t[0], t[1]),
+                                            _mm512_packs_epi32(t[2], t[3]));
+      _mm512_storeu_si512(aq + (g * J + j0) * kQuantGroup,
+                          _mm512_shuffle_epi8(b, shuf));
+    }
+  }
+#endif
+  for (std::size_t j = j0; j < J; ++j) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t r = 0; r < kQuantGroup; ++r) {
+        const std::size_t i = kQuantGroup * g + r;
+        aq[(g * J + j) * kQuantGroup + r] =
+            i < in_dim ? quantize_u8(a[i * stride + j] * inv_scale)
+                       : std::uint8_t{0};
+      }
+    }
+  }
+}
+
+void quant_dense_hidden(const std::uint8_t* aq, const std::int8_t* wq,
+                        std::size_t out_dim, std::size_t groups,
+                        std::size_t J, int rshift, const std::int32_t* acc0,
+                        std::uint8_t* out) {
+  for (std::size_t o4 = 0; o4 < out_dim / kQuantGroup; ++o4) {
+    const std::int8_t* w0 = wq + (o4 * 4 + 0) * groups * kQuantGroup;
+    const std::int8_t* w1 = wq + (o4 * 4 + 1) * groups * kQuantGroup;
+    const std::int8_t* w2 = wq + (o4 * 4 + 2) * groups * kQuantGroup;
+    const std::int8_t* w3 = wq + (o4 * 4 + 3) * groups * kQuantGroup;
+    std::size_t j0 = 0;
+#if RLSCHED_QUANT_VNNI
+    const __m512i vshift = _mm512_set1_epi32(rshift);
+    const __m512i shuf = pack_shuffle();
+    const __m512i i0 = _mm512_set1_epi32(acc0[o4 * 4 + 0]);
+    const __m512i i1 = _mm512_set1_epi32(acc0[o4 * 4 + 1]);
+    const __m512i i2 = _mm512_set1_epi32(acc0[o4 * 4 + 2]);
+    const __m512i i3 = _mm512_set1_epi32(acc0[o4 * 4 + 3]);
+    std::uint8_t* out_row = out + o4 * J * kQuantGroup;
+    // Compile-time group counts let the dot loop fully unroll; the
+    // policy's hidden layers (in_dim 6, 32, 16) hit 2, 8, 4.
+    switch (groups) {
+      case 1:
+        hidden_rows4<1>(aq, w0, w1, w2, w3, J, &j0, i0, i1, i2, i3, vshift,
+                        shuf, out_row);
+        break;
+      case 2:
+        hidden_rows4<2>(aq, w0, w1, w2, w3, J, &j0, i0, i1, i2, i3, vshift,
+                        shuf, out_row);
+        break;
+      case 4:
+        hidden_rows4<4>(aq, w0, w1, w2, w3, J, &j0, i0, i1, i2, i3, vshift,
+                        shuf, out_row);
+        break;
+      case 8:
+        hidden_rows4<8>(aq, w0, w1, w2, w3, J, &j0, i0, i1, i2, i3, vshift,
+                        shuf, out_row);
+        break;
+      default:
+        for (; j0 + 16 <= J; j0 += 16) {
+          __m512i a0 = i0, a1 = i1, a2 = i2, a3 = i3;
+          for (std::size_t g = 0; g < groups; ++g) {
+            const __m512i av =
+                _mm512_loadu_si512(aq + (g * J + j0) * kQuantGroup);
+            a0 = _mm512_dpbusd_epi32(a0, av, bcast_w4(w0 + g * kQuantGroup));
+            a1 = _mm512_dpbusd_epi32(a1, av, bcast_w4(w1 + g * kQuantGroup));
+            a2 = _mm512_dpbusd_epi32(a2, av, bcast_w4(w2 + g * kQuantGroup));
+            a3 = _mm512_dpbusd_epi32(a3, av, bcast_w4(w3 + g * kQuantGroup));
+          }
+          _mm512_storeu_si512(out_row + j0 * kQuantGroup,
+                              requant4(a0, a1, a2, a3, vshift, shuf));
+        }
+        break;
+    }
+#endif
+    for (std::size_t j = j0; j < J; ++j) {
+      std::uint8_t* dst = out + (o4 * J + j) * kQuantGroup;
+      dst[0] = requant_u8(dot_column(aq, w0, groups, J, j) +
+                              acc0[o4 * 4 + 0],
+                          rshift);
+      dst[1] = requant_u8(dot_column(aq, w1, groups, J, j) +
+                              acc0[o4 * 4 + 1],
+                          rshift);
+      dst[2] = requant_u8(dot_column(aq, w2, groups, J, j) +
+                              acc0[o4 * 4 + 2],
+                          rshift);
+      dst[3] = requant_u8(dot_column(aq, w3, groups, J, j) +
+                              acc0[o4 * 4 + 3],
+                          rshift);
+    }
+  }
+}
+
+void quant_dense_f32(const std::uint8_t* aq, const std::int8_t* wq,
+                     std::size_t out_dim, std::size_t groups, std::size_t J,
+                     float m, const float* bias, float* out) {
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    const std::int8_t* w = wq + o * groups * kQuantGroup;
+    std::size_t j0 = 0;
+#if RLSCHED_QUANT_VNNI
+    const __m512 vm = _mm512_set1_ps(m);
+    const __m512 vb = _mm512_set1_ps(bias[o]);
+    for (; j0 + 16 <= J; j0 += 16) {
+      __m512i acc = _mm512_setzero_si512();
+      for (std::size_t g = 0; g < groups; ++g) {
+        acc = _mm512_dpbusd_epi32(
+            acc, _mm512_loadu_si512(aq + (g * J + j0) * kQuantGroup),
+            bcast_w4(w + g * kQuantGroup));
+      }
+      _mm512_storeu_ps(out + o * J + j0,
+                       _mm512_fmadd_ps(_mm512_cvtepi32_ps(acc), vm, vb));
+    }
+#endif
+    for (std::size_t j = j0; j < J; ++j) {
+      out[o * J + j] = std::fmaf(
+          static_cast<float>(dot_column(aq, w, groups, J, j)), m, bias[o]);
+    }
+  }
+}
+
+}  // namespace rlsched::nn

@@ -17,6 +17,17 @@ void batched_argmax(const Policy& policy, const Observation* const* obs,
   }
 }
 
+void batched_argmax_quant(const Policy& policy, const Observation* const* obs,
+                          std::size_t n, float* logits_slab,
+                          std::uint32_t* actions) {
+  policy.logits_quant_batch(obs, n, logits_slab);
+  for (std::size_t k = 0; k < n; ++k) {
+    actions[k] = static_cast<std::uint32_t>(
+        nn::argmax_masked(logits_slab + k * kMaxObservable,
+                          obs[k]->mask.data(), kMaxObservable));
+  }
+}
+
 BatchedEvaluator::BatchedEvaluator(const Policy& policy, std::size_t batch)
     : policy_(policy), batch_(batch == 0 ? 1 : batch) {
   policy_.reserve_batch(batch_);
@@ -46,8 +57,13 @@ void BatchedEvaluator::evaluate(
         builder_.build_into(envs_[alive_[w]], obs_[w]);
         obs_ptr_[w] = &obs_[w];
       }
-      batched_argmax(policy_, obs_ptr_.data(), n, logits_.data(),
-                     actions_.data());
+      if (use_quant_) {
+        batched_argmax_quant(policy_, obs_ptr_.data(), n, logits_.data(),
+                             actions_.data());
+      } else {
+        batched_argmax(policy_, obs_ptr_.data(), n, logits_.data(),
+                       actions_.data());
+      }
       std::size_t keep = 0;
       for (std::size_t w = 0; w < n; ++w) {
         sim::SchedulingEnv& env = envs_[alive_[w]];

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 
 #include "nn/mlp.hpp"
 #include "nn/ops.hpp"
+#include "nn/quant.hpp"
 
 namespace rlsched::rl {
 
@@ -135,6 +137,112 @@ class KernelPolicy final : public Policy {
 
   PolicyKind kind() const override { return PolicyKind::Kernel; }
 
+  // --- int8 path: per-layer packed weights + static calibrated scales ---
+  //
+  // The whole stack runs in nn/quant.hpp's group-packed u8 layout:
+  // features quantize once, the three hidden layers requantize in place
+  // (ping-pong between two 4 KB scratch slabs), and the 1-wide head
+  // dequantizes straight into the logits row. Inference only — training
+  // stays float, so enable_quant() is a snapshot of the current weights.
+
+  bool supports_quant() const override { return true; }
+
+  bool enable_quant(const Observation* const* calib,
+                    std::size_t n) override {
+    constexpr std::size_t J = kMaxObservable;
+    const std::size_t layers = kLayers.size() - 1;
+    // Static activation scales: amax over the calibration set of each
+    // layer's float input (features, then each relu output), spread over
+    // the full u8 range. Unit scales when uncalibrated keep the mapping
+    // deterministic (just coarse).
+    std::array<float, 4> amax{};
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* f = calib[s]->features.data();
+      for (std::size_t i = 0; i < kLayers[0] * J; ++i) {
+        amax[0] = std::max(amax[0], f[i]);
+      }
+      (void)forward_window(f, 0);  // fills window 0's activation slab
+      for (std::size_t l = 0; l + 1 < layers; ++l) {
+        const float* h = act_.data() + act_off_[l];
+        for (std::size_t i = 0; i < kLayers[l + 1] * J; ++i) {
+          amax[l + 1] = std::max(amax[l + 1], h[i]);
+        }
+      }
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+      const std::size_t groups = nn::quant_groups(kLayers[l]);
+      wscale_[l] = nn::weight_scale(params_.data() + w_off_[l],
+                                    kLayers[l] * kLayers[l + 1]);
+      wq_[l].resize(kLayers[l + 1] * groups * nn::kQuantGroup);
+      nn::pack_weights_s8(params_.data() + w_off_[l], kLayers[l + 1],
+                          kLayers[l], wscale_[l], wq_[l].data());
+    }
+    // Each hidden layer's OUTPUT scale is constrained to a power-of-two
+    // multiple of its accumulator scale s_in * s_w (see nn/quant.hpp), the
+    // smallest such scale whose 255-step range still covers the measured
+    // output amax — rounding the scale UP, so the u8 clamp never clips
+    // tighter than the calibration sweep saw. That makes the requant
+    // multiplier exactly 2^-rshift, and the bias plus the round-half-up
+    // constant fold into the int32 accumulator init acc0.
+    ascale_[0] = amax[0] > 0.0f ? amax[0] / 255.0f : 1.0f;
+    for (std::size_t l = 0; l + 1 < layers; ++l) {
+      const float sacc = ascale_[l] * wscale_[l];
+      const double need =
+          static_cast<double>(amax[l + 1]) / (255.0 * sacc);
+      int rs = need > 1.0
+                   ? static_cast<int>(std::ceil(std::log2(need)))
+                   : 0;
+      rs = std::min(std::max(rs, 0), 24);
+      rshift_[l] = rs;
+      ascale_[l + 1] = sacc * static_cast<float>(1 << rs);
+      acc0_[l].resize(kLayers[l + 1]);
+      const float* b = params_.data() + b_off_[l];
+      for (std::size_t o = 0; o < kLayers[l + 1]; ++o) {
+        // Clamp the requantized bias to +-2^30: |dot| < 2^21, so the
+        // accumulator can never wrap even for degenerate scales.
+        float t = b[o] / sacc;
+        t = std::min(std::max(t, -1073741824.0f), 1073741824.0f);
+        acc0_[l][o] =
+            static_cast<std::int32_t>(std::nearbyintf(t)) +
+            (rs > 0 ? std::int32_t{1} << (rs - 1) : 0);
+      }
+    }
+    mfinal_ = ascale_[layers - 1] * wscale_[layers - 1];
+    // Two ping-pong scratch slabs sized for the widest layer input
+    // (32 channels -> 4 KB), 64-byte aligned: the hidden kernels stream
+    // 64-byte rows, and cache-line-split loads cost ~20% end to end.
+    const std::size_t slab =
+        nn::quant_groups(kLayers[1]) * J * nn::kQuantGroup;
+    aq_store_.resize(2 * slab + 63);
+    const auto base = reinterpret_cast<std::uintptr_t>(aq_store_.data());
+    std::uint8_t* p = aq_store_.data() + ((64 - base % 64) % 64);
+    aq_ping_ = p;
+    aq_pong_ = p + slab;
+    quant_on_ = true;
+    return true;
+  }
+
+  void disable_quant() override { quant_on_ = false; }
+  bool quant_enabled() const override { return quant_on_; }
+
+  Logits logits_quant(const Observation& obs) const override {
+    if (!quant_on_) return logits(obs);
+    Logits out;
+    quant_window(obs.features.data(), out.data());
+    return out;
+  }
+
+  void logits_quant_batch(const Observation* const* obs, std::size_t n,
+                          float* out) const override {
+    if (!quant_on_) {
+      logits_batch(obs, n, out);
+      return;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      quant_window(obs[k]->features.data(), out + k * kMaxObservable);
+    }
+  }
+
  private:
   void ensure_batch(std::size_t n) const {
     if (n <= batch_cap_) return;
@@ -181,6 +289,25 @@ class KernelPolicy final : public Policy {
     }
   }
 
+  /// One window through the quantized stack: quantize features, three
+  /// fused int8 hidden layers, dequantizing head into `out` (128 floats).
+  void quant_window(const float* features, float* out) const {
+    constexpr std::size_t J = kMaxObservable;
+    std::uint8_t* cur = aq_ping_;
+    std::uint8_t* nxt = aq_pong_;
+    nn::pack_acts_u8(features, kLayers[0], J, J, 1.0f / ascale_[0], cur);
+    for (std::size_t l = 0; l + 2 < kLayers.size(); ++l) {
+      nn::quant_dense_hidden(cur, wq_[l].data(), kLayers[l + 1],
+                             nn::quant_groups(kLayers[l]), J, rshift_[l],
+                             acc0_[l].data(), nxt);
+      std::swap(cur, nxt);
+    }
+    const std::size_t last = kLayers.size() - 2;
+    nn::quant_dense_f32(cur, wq_[last].data(), kLayers[last + 1],
+                        nn::quant_groups(kLayers[last]), J, mfinal_,
+                        params_.data() + b_off_[last], out);
+  }
+
   static constexpr std::array<std::size_t, 5> kLayers = {kJobFeatures, 32,
                                                          16, 8, 1};
   std::array<std::size_t, 4> w_off_{}, b_off_{};
@@ -189,6 +316,17 @@ class KernelPolicy final : public Policy {
   mutable std::size_t batch_cap_ = 1;
   mutable std::vector<float> act_;   ///< window-major activation slab
   mutable std::vector<float> dact_;  ///< one window of gradient scratch
+
+  // int8 snapshot (enable_quant) + per-window packed-activation scratch
+  bool quant_on_ = false;
+  std::array<std::vector<std::int8_t>, 4> wq_;
+  std::array<float, 4> wscale_{}, ascale_{};
+  std::array<int, 3> rshift_{};
+  std::array<std::vector<std::int32_t>, 3> acc0_;
+  float mfinal_ = 0.0f;
+  mutable std::vector<std::uint8_t> aq_store_;  ///< backing, over-allocated
+  mutable std::uint8_t* aq_ping_ = nullptr;     ///< 64B-aligned slabs
+  mutable std::uint8_t* aq_pong_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

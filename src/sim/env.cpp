@@ -126,7 +126,7 @@ void SchedulingEnv::prepare() {
   }
   const std::size_t n = jobs_.size();
   total_jobs_ = n;
-  pending_.reset(n, cfg_.max_observable);
+  pending_.reset(n, cfg_.max_observable, cfg_.backfill);
   timeline_.reset(n);
 
   user_ids_.clear();
@@ -164,7 +164,7 @@ void SchedulingEnv::reset(trace::JobSource& source, std::size_t chunk_jobs) {
   // Size the indexes for a couple of chunks; they grow amortized with the
   // BACKLOG (never the trace), preserving the O(backlog + chunk) memory
   // contract.
-  pending_.reset(chunk_jobs_ * 2, cfg_.max_observable);
+  pending_.reset(chunk_jobs_ * 2, cfg_.max_observable, cfg_.backfill);
   timeline_.reset(chunk_jobs_ * 2);
   // The user table is discovered incrementally as jobs stream in
   // (start_job's sorted insert); distinct users — not jobs — bound it.

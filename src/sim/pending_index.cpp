@@ -18,8 +18,10 @@ std::size_t pow2_ceil(std::size_t v) {
 
 const double PendingIndex::kInfKey = kInfD;
 
-void PendingIndex::reset(std::size_t expected, std::size_t window_cap) {
+void PendingIndex::reset(std::size_t expected, std::size_t window_cap,
+                         bool fit_index) {
   window_cap_ = window_cap;
+  fit_index_ = fit_index;
   job_.clear();
   procs_.clear();
   time_.clear();
@@ -45,6 +47,11 @@ void PendingIndex::reset(std::size_t expected, std::size_t window_cap) {
   seg_procs_.reserve(2 * cap_hw_);
   seg_time_.reserve(2 * cap_hw_);
   seg_key_.reserve(2 * cap_hw_);
+  if (fit_index_) {
+    stair_.reserve(2 * cap_hw_ * kStairCap);
+    stair_n_.reserve(2 * cap_hw_);
+  }
+  reset_fit_stats();
   rebuild();
 }
 
@@ -73,10 +80,15 @@ void PendingIndex::seg_set(std::size_t pos) {
   seg_procs_[i] = procs_[pos];
   seg_time_[i] = time_[pos];
   seg_key_[i] = use_keys_ ? key_[pos] : kInfD;
+  if (fit_index_) {
+    stair_n_[i] = 1;
+    stair_[i * kStairCap] = StairPt{procs_[pos], time_[pos]};
+  }
   for (i >>= 1; i != 0; i >>= 1) {
     seg_procs_[i] = std::min(seg_procs_[2 * i], seg_procs_[2 * i + 1]);
     seg_time_[i] = std::min(seg_time_[2 * i], seg_time_[2 * i + 1]);
     seg_key_[i] = std::min(seg_key_[2 * i], seg_key_[2 * i + 1]);
+    if (fit_index_) stair_pull(i);
   }
 }
 
@@ -85,11 +97,75 @@ void PendingIndex::seg_clear(std::size_t pos) {
   seg_procs_[i] = kInfProcs;
   seg_time_[i] = kInfD;
   seg_key_[i] = kInfD;
+  if (fit_index_) stair_n_[i] = 0;
   for (i >>= 1; i != 0; i >>= 1) {
     seg_procs_[i] = std::min(seg_procs_[2 * i], seg_procs_[2 * i + 1]);
     seg_time_[i] = std::min(seg_time_[2 * i], seg_time_[2 * i + 1]);
     seg_key_[i] = std::min(seg_key_[2 * i], seg_key_[2 * i + 1]);
+    if (fit_index_) stair_pull(i);
   }
+}
+
+void PendingIndex::stair_pull(std::size_t node) {
+  // node staircase := undominated merge of its children's staircases.
+  // Children are sorted by procs ascending / time strictly descending, so
+  // a two-pointer pass by procs (ties: smaller time first) keeps exactly
+  // the points whose time strictly improves on everything kept so far —
+  // every skipped point is dominated by the previous kept one.
+  const StairPt* a = stair_.data() + (2 * node) * kStairCap;
+  const StairPt* b = stair_.data() + (2 * node + 1) * kStairCap;
+  const std::size_t na = stair_n_[2 * node];
+  const std::size_t nb = stair_n_[2 * node + 1];
+  StairPt tmp[2 * kStairCap];
+  std::size_t n = 0, i = 0, j = 0;
+  double last = kInfD;
+  while (i < na || j < nb) {
+    StairPt p;
+    if (j == nb || (i < na && (a[i].procs < b[j].procs ||
+                               (a[i].procs == b[j].procs &&
+                                a[i].time <= b[j].time)))) {
+      p = a[i++];
+    } else {
+      p = b[j++];
+    }
+    if (p.time < last) {
+      tmp[n++] = p;
+      last = p.time;
+    }
+  }
+  StairPt* dst = stair_.data() + node * kStairCap;
+  if (n > kStairCap) {
+    // Cap overflow: collapse the tail run into its lower-left corner
+    // (the run's min procs x min time). The corner dominates every point
+    // it replaced, so probes stay conservative — the descent may enter
+    // this subtree needlessly but can never skip an eligible job.
+    for (std::size_t k = 0; k + 1 < kStairCap; ++k) dst[k] = tmp[k];
+    dst[kStairCap - 1] = StairPt{tmp[kStairCap - 1].procs, tmp[n - 1].time};
+    stair_n_[node] = static_cast<std::uint8_t>(kStairCap);
+  } else {
+    for (std::size_t k = 0; k < n; ++k) dst[k] = tmp[k];
+    stair_n_[node] = static_cast<std::uint8_t>(n);
+  }
+}
+
+bool PendingIndex::stair_admits(std::size_t node, int free, int spare,
+                                double now, double horizon) const {
+  // One probe decides whether ANY job below `node` can pass the EASY
+  // eligibility test. Walk the staircase by procs ascending: once a
+  // point's procs exceed `free` every later point does too (fail). A
+  // point with procs <= spare passes outright; otherwise its time is the
+  // SMALLEST req_time among subtree jobs at >= that procs (times descend
+  // along the staircase), so `now + time <= horizon` proves an eligible
+  // job exists and a failure rules out this run but not narrower ones.
+  // Truncation corners only under-approximate, so a false here is proof.
+  const StairPt* s = stair_.data() + node * kStairCap;
+  const std::size_t n = stair_n_[node];
+  for (std::size_t k = 0; k < n; ++k) {
+    if (s[k].procs > free) return false;
+    if (s[k].procs <= spare) return true;
+    if (now + s[k].time <= horizon) return true;
+  }
+  return false;
 }
 
 void PendingIndex::rebuild() {
@@ -116,6 +192,19 @@ void PendingIndex::rebuild() {
     seg_procs_[i] = std::min(seg_procs_[2 * i], seg_procs_[2 * i + 1]);
     seg_time_[i] = std::min(seg_time_[2 * i], seg_time_[2 * i + 1]);
     seg_key_[i] = std::min(seg_key_[2 * i], seg_key_[2 * i + 1]);
+  }
+
+  if (fit_index_) {
+    stair_.resize(2 * cap_ * kStairCap);
+    stair_n_.resize(2 * cap_);
+    for (std::size_t pos = 0; pos < cap_; ++pos) {
+      const bool alive = pos < job_.size() && job_[pos] != kNone;
+      stair_n_[cap_ + pos] = alive ? 1 : 0;
+      if (alive) {
+        stair_[(cap_ + pos) * kStairCap] = StairPt{procs_[pos], time_[pos]};
+      }
+    }
+    for (std::size_t i = cap_ - 1; i >= 1; --i) stair_pull(i);
   }
 }
 
@@ -185,13 +274,23 @@ std::uint32_t PendingIndex::take_window(std::size_t w) {
 
 std::size_t PendingIndex::find_fit(std::size_t node, int free, int spare,
                                    double now, double horizon) const {
-  // Prune: no job below `node` can be eligible. Both tests are exact at
-  // leaves (the node minima ARE the job's values there), so a surviving
-  // leaf is eligible by construction — the same comparisons the reference
-  // scan performs, in the same queue order.
-  if (seg_procs_[node] > free) return kNposInternal;
-  if (seg_procs_[node] > spare && now + seg_time_[node] > horizon) {
-    return kNposInternal;
+  // Prune: no job below `node` can be eligible. With the staircase index
+  // the probe is exact for <= kStairCap Pareto modes and conservative
+  // beyond; without it, the (min procs, min time) corner pairs minima
+  // from possibly DIFFERENT jobs, which is correct but prunes less. Both
+  // are exact at leaves (the summary IS the job's values there), so a
+  // surviving leaf is eligible by construction — the same comparisons the
+  // reference scan performs, in the same queue order.
+  if constexpr (kStatsEnabled) ++fit_visits_;
+  if (fit_index_) {
+    if (!stair_admits(node, free, spare, now, horizon)) {
+      return kNposInternal;
+    }
+  } else {
+    if (seg_procs_[node] > free) return kNposInternal;
+    if (seg_procs_[node] > spare && now + seg_time_[node] > horizon) {
+      return kNposInternal;
+    }
   }
   if (node >= cap_) return node - cap_;
   const std::size_t left = find_fit(2 * node, free, spare, now, horizon);
@@ -201,6 +300,7 @@ std::size_t PendingIndex::find_fit(std::size_t node, int free, int spare,
 
 std::uint32_t PendingIndex::take_first_backfill(int free, int spare,
                                                 double now, double horizon) {
+  if constexpr (kStatsEnabled) ++fit_queries_;
   const std::size_t pos = find_fit(1, free, spare, now, horizon);
   if (pos == kNposInternal) return kNone;
   const std::uint32_t job = job_[pos];

@@ -7,6 +7,10 @@
 //     integer-rounded runtimes that force equal completion times, zero
 //     runtimes, over-wide requests that exercise the clamp) and synthetic
 //     PIK-IPLEX storm + SDSC-SP2 workloads;
+//   * adversarial staircase mixes — anticorrelated procs/req_time storms
+//     behind full-width blockers, exact duplicates (tied keys), and
+//     horizon/spare boundary probes — the shapes that defeat the plain
+//     (min, min) backfill prune and stress the Pareto-staircase index;
 //   * all five Table III heuristics via run_priority() — the
 //     time-invariant ones (FCFS/SJF/F1) in BOTH kinds, proving the
 //     O(log P) min-key index equals the O(P) scan decision for decision;
@@ -221,6 +225,79 @@ std::vector<trace::Job> fuzz_trace(std::uint64_t seed, int* procs_out) {
   return jobs;
 }
 
+// --- adversarial workload: staircase-shaped mixes ---
+//
+// Blocks of jobs with ANTICORRELATED procs/req_time (narrow-and-long vs
+// wide-and-short, procs ascending while req_time descends) put every
+// subtree's (min procs, min req_time) on two DIFFERENT jobs, so the plain
+// corner prune passes while no actual job fits — the shape that degrades
+// a corner-only descent to O(P) and that the Pareto staircase must prune
+// without ever skipping an eligible job. Full-width blockers pin the
+// machine so each decision answers the backfill query against a live
+// reservation horizon; exact duplicates tie every index key at the same
+// submit time; integer requests place jobs exactly ON the
+// now + req_time == horizon and procs == spare/free edges.
+std::vector<trace::Job> adversarial_trace(std::uint64_t seed,
+                                          int* procs_out) {
+  util::Rng rng(seed);
+  const int procs = rng.uniform() < 0.5 ? 32 : 64;
+  std::vector<trace::Job> jobs;
+  double t = 0.0;
+  std::int64_t id = 1;
+  const std::size_t blocks = 4 + rng.below(4);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    trace::Job blocker{};
+    blocker.id = id++;
+    blocker.submit_time = t;
+    blocker.run_time = 60.0 + static_cast<double>(rng.below(5)) * 30.0;
+    blocker.requested_time = blocker.run_time;
+    blocker.requested_procs = procs;
+    blocker.user = 0;
+    jobs.push_back(blocker);
+
+    // The anticorrelated staircase storm, all submitted in one tick.
+    const std::size_t steps = 8 + rng.below(24);
+    for (std::size_t s = 0; s < steps; ++s) {
+      trace::Job j{};
+      j.id = id++;
+      j.submit_time = t;
+      j.requested_procs = std::min(
+          1 + static_cast<int>((s * static_cast<std::size_t>(procs)) /
+                               steps),
+          procs);
+      j.requested_time = static_cast<double>((steps - s) * 15 + 30);
+      j.run_time = rng.uniform() < 0.2
+                       ? 0.0
+                       : std::min(j.requested_time,
+                                  static_cast<double>(5 + 10 * rng.below(6)));
+      j.user = static_cast<int>(rng.below(3));
+      jobs.push_back(j);
+      if (rng.uniform() < 0.25) {
+        trace::Job dup = j;  // exact tie in every index key
+        dup.id = id++;
+        jobs.push_back(dup);
+      }
+    }
+
+    // Horizon-boundary probes: request exactly the blocker's length at
+    // widths 1..4, so eligibility flips on the == edge of
+    // now + req_time <= horizon and on procs == spare as the tail drains.
+    for (int w = 1; w <= 4; ++w) {
+      trace::Job j{};
+      j.id = id++;
+      j.submit_time = t;
+      j.requested_time = blocker.run_time;
+      j.run_time = rng.uniform() < 0.5 ? j.requested_time : 1.0;
+      j.requested_procs = w;
+      j.user = 1;
+      jobs.push_back(j);
+    }
+    t += static_cast<double>(30 + rng.below(90));
+  }
+  *procs_out = procs;
+  return jobs;
+}
+
 }  // namespace
 
 int main() {
@@ -240,6 +317,11 @@ int main() {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     Workload w{"fuzz", seed, 0, {}};
     w.jobs = fuzz_trace(seed, &w.procs);
+    workloads.push_back(std::move(w));
+  }
+  for (std::uint64_t seed = 101; seed <= 104; ++seed) {
+    Workload w{"adversarial", seed, 0, {}};
+    w.jobs = adversarial_trace(seed, &w.procs);
     workloads.push_back(std::move(w));
   }
   {
