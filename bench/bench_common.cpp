@@ -30,8 +30,11 @@ Scale bench_scale() {
       util::env_long("RLSCHED_BENCH_EVAL_LEN", 512, 1));
   s.seed = static_cast<std::uint64_t>(
       util::env_long("RLSCHED_BENCH_SEED", 42, 0));
-  s.workers = util::env_workers("RLSCHED_WORKERS", 1);
-  s.batch = util::env_batch("RLSCHED_BATCH", 8);
+  // One parser for the runtime knobs, shared with the façade and the serve
+  // daemon: RLSCHED_WORKERS / RLSCHED_BATCH resolve in RuntimeConfig.
+  const core::RuntimeConfig runtime = core::RuntimeConfig::from_env();
+  s.workers = runtime.workers;
+  s.batch = runtime.batch;
   s.model_dir = util::env_string("RLSCHED_MODEL_DIR", "rlsched_models");
   return s;
 }
@@ -55,8 +58,8 @@ core::RLSchedulerConfig scheduler_config(sim::Metric metric,
   // whether 1 or 16 workers produced it. The inference batch width shares
   // that property (order-stable batched reductions — see DESIGN.md), so it
   // stays out of the key too.
-  cfg.n_workers = scale.workers;
-  cfg.batch = scale.batch;
+  cfg.runtime.workers = scale.workers;
+  cfg.runtime.batch = scale.batch;
   return cfg;
 }
 
@@ -148,10 +151,14 @@ double rl_avg(const core::RLScheduler& model,
               const std::vector<std::vector<trace::Job>>& seqs,
               int processors, bool backfill, sim::Metric metric) {
   // Batched inference sweep (RLSCHED_BATCH windows per policy forward);
-  // bitwise identical to per-sequence schedule_on().
+  // runs[i] is bitwise identical to a single-sequence request of seqs[i].
+  core::ScheduleRequest req;
+  req.sequences = &seqs;
+  req.processors = processors;
+  req.backfill = backfill;
+  const core::StatusOr<core::ScheduleResult> result = model.schedule(req);
   double sum = 0.0;
-  for (const sim::RunResult& r :
-       model.schedule_many(seqs, processors, backfill)) {
+  for (const sim::RunResult& r : result.value().runs) {
     sum += r.value(metric);
   }
   return seqs.empty() ? 0.0 : sum / static_cast<double>(seqs.size());

@@ -1,0 +1,355 @@
+// Scheduling-as-a-service load bench: drive the serve::Daemon with
+// thousands of independent sessions — each its own simulated cluster with
+// a queued ScheduleRequest — and measure what the session table plus
+// cross-session batched inference deliver:
+//
+//   dps                  aggregate scheduling decisions/sec across all
+//                        sessions while the dispatcher drains the burst
+//   p50_ms / p99_ms      submit-to-completion latency percentiles over the
+//                        closed-loop burst (queueing included — that is
+//                        the latency a multi-tenant client sees)
+//   windows_per_forward  average observation windows packed per batched
+//                        policy forward: the algorithmic, host-independent
+//                        signal that cross-session batching engages (the
+//                        CI gate requires >= batch/2)
+//
+// Self-check before timing (a perf number from a broken daemon is
+// meaningless): every session's result at the configured batch width must
+// be BITWISE identical to the same requests served at batch 1 — exits
+// nonzero on violation and reports "invariant": false in --json.
+//
+// Configuration, runner-style: defaults < --config FILE (flat JSON) < CLI
+// flags. The same keys work in both:
+//
+//   bench_serve_load --sessions 1000,10000 --jobs 64 --batch 8 \
+//                    --seed 42 --trace Lublin-1 [--json] [--config f.json]
+//
+// Output: a human table on stderr; with --json a machine block on stdout
+// for scripts/perf_gate.py ("s<N>" metric per session scale).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rl/policy.hpp"
+#include "serve/daemon.hpp"
+#include "sim/env.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace rlsched;
+
+struct Options {
+  std::vector<std::size_t> sessions = {1000, 10000};
+  std::size_t jobs = 64;     ///< jobs per session request
+  std::size_t batch = 8;     ///< daemon batch width B
+  std::uint64_t seed = 42;
+  std::string trace = "Lublin-1";
+  bool json = false;
+};
+
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(static_cast<std::size_t>(std::stoull(item)));
+    }
+  }
+  return out;
+}
+
+/// Minimal flat-JSON config reader: {"sessions": [1000,10000], "jobs": 64,
+/// "batch": 8, "seed": 42, "trace": "Lublin-1"}. No dependency, no nesting
+/// — exactly the runner-config subset the bench documents.
+void load_config(const std::string& path, Options& opt) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FATAL: cannot read config %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const auto value_of = [&](const char* key) -> std::string {
+    const std::string quoted = std::string("\"") + key + "\"";
+    const std::size_t at = text.find(quoted);
+    if (at == std::string::npos) return {};
+    std::size_t start = text.find(':', at + quoted.size());
+    if (start == std::string::npos) return {};
+    ++start;
+    while (start < text.size() && std::isspace(
+        static_cast<unsigned char>(text[start]))) {
+      ++start;
+    }
+    std::size_t end = start;
+    if (start < text.size() && text[start] == '[') {
+      end = text.find(']', start);
+      if (end == std::string::npos) return {};
+      return text.substr(start + 1, end - start - 1);
+    }
+    if (start < text.size() && text[start] == '"') {
+      end = text.find('"', start + 1);
+      if (end == std::string::npos) return {};
+      return text.substr(start + 1, end - start - 1);
+    }
+    while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    return text.substr(start, end - start);
+  };
+
+  if (const std::string v = value_of("sessions"); !v.empty()) {
+    opt.sessions = parse_size_list(v);
+  }
+  if (const std::string v = value_of("jobs"); !v.empty()) {
+    opt.jobs = static_cast<std::size_t>(std::stoull(v));
+  }
+  if (const std::string v = value_of("batch"); !v.empty()) {
+    opt.batch = static_cast<std::size_t>(std::stoull(v));
+  }
+  if (const std::string v = value_of("seed"); !v.empty()) {
+    opt.seed = static_cast<std::uint64_t>(std::stoull(v));
+  }
+  if (const std::string v = value_of("trace"); !v.empty()) {
+    opt.trace = v;
+  }
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  opt.batch = util::env_batch("RLSCHED_BATCH", opt.batch);
+  opt.seed = static_cast<std::uint64_t>(
+      util::env_long("RLSCHED_BENCH_SEED", static_cast<long>(opt.seed), 0));
+  // Config file first, then CLI flags override it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      load_config(argv[i + 1], opt);
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "FATAL: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json = true;
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      opt.sessions = parse_size_list(next());
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      opt.jobs = static_cast<std::size_t>(std::stoull(next()));
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      opt.batch = static_cast<std::size_t>(std::stoull(next()));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = static_cast<std::uint64_t>(std::stoull(next()));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace = next();
+    } else if (std::strcmp(argv[i], "--config") == 0) {
+      ++i;  // consumed in the first pass
+    } else {
+      std::fprintf(stderr, "FATAL: unknown flag %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (opt.sessions.empty() || opt.jobs == 0 || opt.batch == 0) {
+    std::fprintf(stderr, "FATAL: sessions/jobs/batch must be nonzero\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+/// Per-session job sequences, deterministic in (trace, seed): session i
+/// schedules its own sampled sequence, so no two sessions share state.
+std::vector<std::vector<trace::Job>> session_sequences(
+    const trace::Trace& trace, std::size_t n, std::size_t jobs,
+    std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x5E55ULL);
+  std::vector<std::vector<trace::Job>> seqs;
+  seqs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seqs.push_back(trace.sample_sequence(rng, jobs));
+  }
+  return seqs;
+}
+
+struct LoadResult {
+  std::size_t sessions = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  double dps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double windows_per_forward = 0.0;
+};
+
+/// One closed-loop burst: S sessions, one request each, submitted up
+/// front, drained on this thread. Returns throughput + latency
+/// percentiles; fills `runs` (when non-null) with each session's
+/// RunResult for the invariance check.
+LoadResult run_load(const rl::Policy& policy, std::size_t batch,
+                    const std::vector<std::vector<trace::Job>>& seqs,
+                    int processors, std::vector<sim::RunResult>* runs) {
+  serve::DaemonConfig cfg;
+  cfg.runtime.workers = 1;
+  cfg.runtime.batch = batch;
+  serve::Daemon daemon(cfg);
+  const std::uint32_t pid = daemon.register_policy(policy);
+
+  std::vector<serve::SessionId> sessions(seqs.size());
+  std::vector<serve::RequestId> requests(seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    serve::SessionConfig sc;
+    sc.processors = processors;
+    sc.policy = pid;
+    auto sid = daemon.create_session(sc);
+    if (!sid.ok()) {
+      std::fprintf(stderr, "FATAL: create_session: %s\n",
+                   sid.status().to_string().c_str());
+      std::exit(1);
+    }
+    sessions[i] = sid.value();
+    core::ScheduleRequest req;
+    req.jobs = &seqs[i];
+    req.backfill = true;
+    auto rid = daemon.submit(sessions[i], req);
+    if (!rid.ok()) {
+      std::fprintf(stderr, "FATAL: submit: %s\n",
+                   rid.status().to_string().c_str());
+      std::exit(1);
+    }
+    requests[i] = rid.value();
+  }
+
+  const serve::DaemonStats before = daemon.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto drained = daemon.drain();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!drained.ok()) {
+    std::fprintf(stderr, "FATAL: drain: %s\n",
+                 drained.status().to_string().c_str());
+    std::exit(1);
+  }
+  const serve::DaemonStats after = daemon.stats();
+
+  LoadResult out;
+  out.sessions = seqs.size();
+  out.submitted = seqs.size();
+  std::vector<double> latencies;
+  latencies.reserve(seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    serve::Completion c;
+    const core::Status s = daemon.try_take(requests[i], &c);
+    if (!s.ok() || !c.status.ok()) {
+      std::fprintf(stderr, "FATAL: completion %zu: %s\n", i,
+                   (!s.ok() ? s : c.status).to_string().c_str());
+      std::exit(1);
+    }
+    ++out.completed;
+    latencies.push_back(c.latency_seconds);
+    if (runs != nullptr) runs->push_back(c.result.run());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    const std::size_t at = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1));
+    return latencies[at] * 1e3;
+  };
+  out.p50_ms = pct(0.50);
+  out.p99_ms = pct(0.99);
+  const std::uint64_t decisions = after.decisions - before.decisions;
+  const std::uint64_t forwards = after.forwards - before.forwards;
+  const std::uint64_t windows = after.forward_windows - before.forward_windows;
+  out.dps = elapsed > 0.0 ? static_cast<double>(decisions) / elapsed : 0.0;
+  out.windows_per_forward =
+      forwards > 0 ? static_cast<double>(windows) / static_cast<double>(forwards)
+                   : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const auto trace = workload::make_trace(
+      opt.trace, std::max<std::size_t>(4000, 4 * opt.jobs), opt.seed);
+  util::Rng policy_rng(opt.seed ^ 0xD0E5ULL);
+  const auto policy =
+      rl::make_policy(rl::PolicyKind::Kernel, rl::kMaxObservable, policy_rng);
+
+  // Invariance self-check at a reduced scale (it runs every session
+  // TWICE): batched results must be bitwise the batch-1 results.
+  const std::size_t check_sessions =
+      std::min<std::size_t>(256, *std::min_element(opt.sessions.begin(),
+                                                   opt.sessions.end()));
+  const auto check_seqs = session_sequences(trace, check_sessions, opt.jobs,
+                                            opt.seed);
+  std::vector<sim::RunResult> batched, serial;
+  (void)run_load(*policy, opt.batch, check_seqs, trace.processors(),
+                 &batched);
+  (void)run_load(*policy, 1, check_seqs, trace.processors(), &serial);
+  bool invariant = batched.size() == serial.size();
+  for (std::size_t i = 0; invariant && i < batched.size(); ++i) {
+    invariant = sim::bitwise_equal(batched[i], serial[i]);
+  }
+  if (!invariant) {
+    std::fprintf(stderr,
+                 "FATAL: cross-session batching changed results (batch %zu "
+                 "vs 1 over %zu sessions)\n",
+                 opt.batch, check_sessions);
+    if (!opt.json) return 1;
+  }
+
+  std::fprintf(stderr,
+               "serve load: trace %s, %zu jobs/session, batch %zu, seed "
+               "%llu, invariance %s over %zu sessions\n",
+               opt.trace.c_str(), opt.jobs, opt.batch,
+               static_cast<unsigned long long>(opt.seed),
+               invariant ? "OK" : "VIOLATED", check_sessions);
+  std::fprintf(stderr, "%-10s %14s %12s %12s %16s\n", "sessions", "dec/s",
+               "p50 ms", "p99 ms", "windows/forward");
+
+  std::vector<std::pair<std::size_t, LoadResult>> results;
+  for (const std::size_t scale : opt.sessions) {
+    const auto seqs = session_sequences(trace, scale, opt.jobs, opt.seed);
+    const LoadResult r =
+        run_load(*policy, opt.batch, seqs, trace.processors(), nullptr);
+    std::fprintf(stderr, "%-10zu %14.0f %12.3f %12.3f %16.2f\n", scale,
+                 r.dps, r.p50_ms, r.p99_ms, r.windows_per_forward);
+    results.emplace_back(scale, r);
+  }
+
+  if (opt.json) {
+    std::printf("{\n  \"bench\": \"bench_serve_load\",\n");
+    std::printf("  \"batch\": %zu,\n  \"jobs\": %zu,\n", opt.batch,
+                opt.jobs);
+    std::printf("  \"invariant\": %s,\n", invariant ? "true" : "false");
+    std::printf("  \"metrics\": {\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& [scale, r] = results[i];
+      std::printf(
+          "    \"s%zu\": {\"dps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": "
+          "%.4f, \"windows_per_forward\": %.3f, \"submitted\": %zu, "
+          "\"completed\": %zu}%s\n",
+          scale, r.dps, r.p50_ms, r.p99_ms, r.windows_per_forward,
+          r.submitted, r.completed, i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  }\n}\n");
+  }
+  return invariant ? 0 : 1;
+}

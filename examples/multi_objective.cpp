@@ -55,7 +55,10 @@ int main(int argc, char** argv) {
   for (const auto& [policy, label] : entries) {
     double bsld = 0.0, util = 0.0;
     for (const auto& seq : seqs) {
-      const auto r = policy->schedule(seq, true);
+      core::ScheduleRequest req;
+      req.jobs = &seq;
+      req.backfill = true;
+      const auto r = policy->schedule(req).value().run();
       bsld += r.avg_bounded_slowdown / 5.0;
       util += r.utilization / 5.0;
     }

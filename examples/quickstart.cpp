@@ -43,7 +43,10 @@ int main(int argc, char** argv) {
   //    backfilling enabled for both.
   util::Rng rng(7);
   const auto seq = trace.sample_sequence(rng, 512);
-  const auto rl = scheduler.schedule(seq, /*backfill=*/true);
+  core::ScheduleRequest req;
+  req.jobs = &seq;
+  req.backfill = true;
+  const auto rl = scheduler.schedule(req).value().run();
 
   sim::EnvConfig env_cfg;
   env_cfg.backfill = true;

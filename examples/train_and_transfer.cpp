@@ -63,10 +63,13 @@ int main(int argc, char** argv) {
   }
   double rl_sum = 0.0;
   for (const auto& seq : seqs) {
-    rl_sum += deployed
-                  .schedule_on(seq, target_trace.processors(),
-                               /*backfill=*/true)
-                  .avg_bounded_slowdown;
+    // .processors overrides the training cluster: the transplanted model
+    // schedules on the target trace's machine.
+    core::ScheduleRequest req;
+    req.jobs = &seq;
+    req.processors = target_trace.processors();
+    req.backfill = true;
+    rl_sum += deployed.schedule(req).value().run().avg_bounded_slowdown;
   }
   table.add_row({"RL-" + train_name, util::Table::fmt(rl_sum / 5.0, 5)});
   std::cout << table

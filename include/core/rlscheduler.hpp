@@ -1,13 +1,28 @@
 #pragma once
 // Public façade: one object that owns a workload, trains the paper's PPO
 // policy on it, schedules unseen sequences, and persists models.
+//
+// Scheduling goes through ONE entry point — schedule(const
+// ScheduleRequest&) — whose request struct names the job source
+// (materialized sequence, batch of sequences, or a streamed
+// trace::JobSource), the cluster size, backfilling, and the streaming
+// chunk; errors come back as core::Status instead of ad-hoc exceptions.
+// The pre-redesign overload set (schedule/schedule_on/schedule_many/
+// schedule_stream) survives as deprecated inline shims over the same
+// entry point with BITWISE-identical results (tests/test_api_facade.cpp
+// gates this across the equivalence matrix); see README "Migrating off
+// the façade overloads".
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/api.hpp"
+#include "core/status.hpp"
 #include "rl/composite.hpp"
 #include "rl/ppo.hpp"
 #include "sim/env.hpp"
@@ -27,14 +42,12 @@ struct RLSchedulerConfig {
   std::size_t v_iters = 10;
   std::size_t minibatch = 512;  ///< 0 = full batch
   std::uint64_t seed = 42;
-  /// Rollout-collection / update threads (see RLSCHED_WORKERS). Trained
-  /// models are bitwise identical for every worker count; 0 acts as 1.
-  std::size_t n_workers = 1;
-  /// Inference batch width B (see RLSCHED_BATCH): windows per batched
-  /// policy forward in rollout collection and schedule_many(). Like
-  /// n_workers, bitwise irrelevant to every result — a pure throughput
-  /// knob; 0 acts as 1.
-  std::size_t batch = 8;
+  /// Worker threads and inference batch width B. Zero fields defer to the
+  /// environment (RLSCHED_WORKERS / RLSCHED_BATCH) and then the built-in
+  /// defaults — the precedence chain lives in RuntimeConfig::resolved(),
+  /// shared with the serve:: daemon. Both knobs are bitwise-irrelevant to
+  /// every result (pure throughput), so they stay out of model cache keys.
+  RuntimeConfig runtime;
 };
 
 class RLScheduler {
@@ -50,27 +63,59 @@ class RLScheduler {
   rl::TrainHistory train(std::size_t epochs,
                          const EpochCallback& on_epoch = {});
 
-  /// Greedy-schedule `seq` on the training cluster.
+  /// Greedy-schedule the request's job source with the current policy.
+  /// request.processors == 0 means the training cluster for materialized
+  /// sources and the stream's own recorded cluster for streamed ones.
+  /// Sequence batches sweep with batched inference (runtime.batch windows
+  /// per policy forward) — runs[i] is bitwise identical to a single-sequence
+  /// request of sequences[i]. Malformed requests and engine rejections
+  /// (e.g. out-of-order streamed submits) come back as a non-OK Status.
+  StatusOr<ScheduleResult> schedule(const ScheduleRequest& request) const;
+
+  // --- deprecated façade overloads -------------------------------------
+  // Thin shims over schedule(const ScheduleRequest&): same engine calls,
+  // bitwise-identical results. They keep the historical throwing contract
+  // by rethrowing a non-OK Status as std::runtime_error.
+
+  [[deprecated("build a core::ScheduleRequest{.jobs=&seq} instead")]]
   sim::RunResult schedule(const std::vector<trace::Job>& seq,
-                          bool backfill) const;
+                          bool backfill) const {
+    ScheduleRequest req;
+    req.jobs = &seq;
+    req.backfill = backfill;
+    return take_single(schedule(req));
+  }
 
-  /// Greedy-schedule on a foreign cluster size (generalization protocol).
+  [[deprecated("build a core::ScheduleRequest with .processors instead")]]
   sim::RunResult schedule_on(const std::vector<trace::Job>& seq,
-                             int processors, bool backfill) const;
+                             int processors, bool backfill) const {
+    ScheduleRequest req;
+    req.jobs = &seq;
+    req.processors = processors;
+    req.backfill = backfill;
+    return take_single(schedule(req));
+  }
 
-  /// Greedy-schedule many sequences with batched inference: up to
-  /// cfg.batch observation windows per policy forward (B x 128 job axis).
-  /// out[i] is bitwise identical to schedule_on(seqs[i], ...) — the
-  /// evaluation sweeps in the benches use this entry point.
+  [[deprecated("build a core::ScheduleRequest{.sequences=&seqs} instead")]]
   std::vector<sim::RunResult> schedule_many(
       const std::vector<std::vector<trace::Job>>& seqs, int processors,
-      bool backfill) const;
+      bool backfill) const {
+    ScheduleRequest req;
+    req.sequences = &seqs;
+    req.processors = processors;
+    req.backfill = backfill;
+    return std::move(take(schedule(req)).runs);
+  }
 
-  /// Greedy-schedule a streamed source (archive-scale traces that never
-  /// materialize — see trace::ShardedReader) on its own cluster size.
-  /// Bitwise identical to schedule_on() of the materialized jobs.
+  [[deprecated("build a core::ScheduleRequest{.stream=&source} instead")]]
   sim::RunResult schedule_stream(trace::JobSource& source, bool backfill,
-                                 std::size_t chunk_jobs = 4096) const;
+                                 std::size_t chunk_jobs = 4096) const {
+    ScheduleRequest req;
+    req.stream = &source;
+    req.backfill = backfill;
+    req.chunk_jobs = chunk_jobs;
+    return take_single(schedule(req));
+  }
 
   void save(const std::string& path) const;
   void load(const std::string& path);
@@ -80,6 +125,14 @@ class RLScheduler {
   const RLSchedulerConfig& config() const { return cfg_; }
 
  private:
+  static ScheduleResult take(StatusOr<ScheduleResult>&& r) {
+    if (!r.ok()) throw std::runtime_error(r.status().to_string());
+    return std::move(r).value();
+  }
+  static sim::RunResult take_single(StatusOr<ScheduleResult>&& r) {
+    return take(std::move(r)).runs.front();
+  }
+
   RLSchedulerConfig cfg_;
   int processors_ = 0;
   std::unique_ptr<rl::PPOTrainer> trainer_;

@@ -1,0 +1,264 @@
+#pragma once
+// Scheduling-as-a-service: a long-lived multi-tenant session daemon that
+// multiplexes thousands of concurrent scheduling sessions — independent
+// simulated clusters, what-if queries, replay streams — onto ONE batched
+// inference engine.
+//
+// Architecture:
+//
+//   clients (any thread)                 dispatcher (one thread at a time)
+//   --------------------                 --------------------------------
+//   create_session / destroy_session     admit: pop a session's next queued
+//   submit(ScheduleRequest) -> id          request, reset its pooled env
+//   try_take / wait(id)                  step:  group ACTIVE episodes by
+//         |                                policy, pack up to B observation
+//         v                                windows per group into one
+//   session table (mutex-guarded):        B x 128 batched policy forward
+//     slot = { generation, config,        (rl::batched_argmax), step each
+//              pooled SchedulingEnv,      env with its own argmax
+//              request queue }          complete: store the Completion,
+//                                         re-admit the session's next
+//                                         request, recycle envs of closed
+//                                         sessions into the pool
+//
+// The daemon speaks the same core::ScheduleRequest / ScheduleResult /
+// Status contract as the in-process façade; protocol failures (unknown
+// session, table full, cancelled-by-destroy, ...) map onto the same
+// core::StatusCode enum.
+//
+// Cross-session batching is BITWISE INVISIBLE in every result: each
+// batched logits row equals the unbatched forward of that window (the
+// rl::batched_argmax contract), and sessions share nothing but the policy
+// weights, so N sessions drained at batch width B produce exactly the
+// results of N sessions served serially (tests/test_serve_daemon.cpp
+// gates this, and bench_serve_load re-checks it before every timed run).
+//
+// Threading contract: the session table, request queues, and completion
+// store are internally synchronized — any thread may create/destroy
+// sessions, submit, and poll concurrently. Episode execution (envs +
+// policy forwards) is serialized on one dispatcher at a time: either the
+// background thread after start(), or the caller of drain(). Registered
+// policies are driven only by that dispatcher, so their mutable forward
+// scratch needs no locking; they must outlive the daemon.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/status.hpp"
+#include "rl/observation.hpp"
+#include "rl/policy.hpp"
+#include "sim/env.hpp"
+#include "trace/job.hpp"
+
+namespace rlsched::serve {
+
+/// Per-session immutable configuration: the simulated cluster the session
+/// schedules on and the policy (by registry id) that makes its decisions.
+/// Per-request knobs (backfill, processors override for what-if queries,
+/// streaming chunk) ride on the core::ScheduleRequest itself.
+struct SessionConfig {
+  int processors = 0;        ///< cluster size; must be > 0
+  std::uint32_t policy = 0;  ///< id from Daemon::register_policy()
+};
+
+/// Generation-tagged session handle: destroying a session bumps the slot
+/// generation, so a stale handle is detected (kNotFound) instead of
+/// silently addressing the slot's next tenant.
+struct SessionId {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;
+};
+
+struct RequestId {
+  std::uint64_t value = 0;  ///< 0 = invalid
+};
+
+struct DaemonConfig {
+  /// runtime.batch = cross-session windows per batched policy forward
+  /// (0 defers to RLSCHED_BATCH, then the built-in default — the same
+  /// precedence chain as RLSchedulerConfig). runtime.workers is not used:
+  /// episode execution is single-dispatcher by design (the batched forward
+  /// is where the parallelism lives).
+  core::RuntimeConfig runtime;
+  std::size_t max_sessions = 1u << 20;
+};
+
+struct DaemonStats {
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_destroyed = 0;
+  std::uint64_t live_sessions = 0;
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_completed = 0;  ///< includes failed, not cancelled
+  std::uint64_t requests_failed = 0;     ///< completed with a non-OK status
+  std::uint64_t requests_cancelled = 0;  ///< dropped by destroy_session
+  std::uint64_t episodes = 0;            ///< sequences scheduled
+  std::uint64_t decisions = 0;           ///< env steps taken
+  std::uint64_t forwards = 0;            ///< batched policy forwards
+  std::uint64_t forward_windows = 0;     ///< sum of windows over forwards
+};
+
+/// A finished request: the daemon-side status (OK unless the engine
+/// rejected the episode or the session was destroyed first), the runs, and
+/// the submit-to-completion latency the load bench aggregates into
+/// p50/p99.
+struct Completion {
+  core::Status status;
+  core::ScheduleResult result;
+  double latency_seconds = 0.0;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig cfg = {});
+  ~Daemon();  ///< stop()s the dispatcher; queued requests are dropped
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Register a policy for sessions to reference. The daemon borrows the
+  /// policy (caller keeps ownership; it must outlive the daemon) and
+  /// prewarms its batch scratch to the daemon's batch width. Only the
+  /// dispatcher ever runs forwards on it.
+  std::uint32_t register_policy(const rl::Policy& policy);
+
+  core::StatusOr<SessionId> create_session(const SessionConfig& cfg);
+
+  /// Destroy a session. Queued requests complete as kCancelled; an episode
+  /// already in flight on the dispatcher finishes and delivers its result
+  /// (a replay you asked for is a replay you get), after which the
+  /// session's env returns to the pool and the slot generation bumps.
+  core::Status destroy_session(SessionId id);
+
+  /// Enqueue a request on a session. jobs/sequences payloads are COPIED
+  /// into the queue (the caller's buffers are free immediately); stream
+  /// sources are borrowed until completion. request.processors == 0 uses
+  /// the session's cluster size; nonzero overrides it for this request
+  /// (what-if queries on a foreign cluster reuse the session's env).
+  core::StatusOr<RequestId> submit(SessionId id,
+                                   const core::ScheduleRequest& request);
+
+  /// Non-blocking completion poll: kUnavailable while pending, kNotFound
+  /// for ids never issued (or already taken). A completion is delivered
+  /// exactly once.
+  core::Status try_take(RequestId id, Completion* out);
+
+  /// Block until `id` completes (requires a running dispatcher or an
+  /// already-available completion; kFailedPrecondition otherwise — a
+  /// wait that nothing can satisfy must not hang).
+  core::Status wait(RequestId id, Completion* out);
+
+  /// Submit + run to completion, for synchronous callers: drains on the
+  /// calling thread when no dispatcher is running, waits otherwise.
+  core::Status schedule(SessionId id, const core::ScheduleRequest& request,
+                        core::ScheduleResult* out);
+
+  /// Serve every queued request to completion on the CALLING thread.
+  /// Returns the number of requests completed; kFailedPrecondition while a
+  /// background dispatcher owns execution.
+  core::StatusOr<std::size_t> drain();
+
+  /// Start / stop the background dispatcher thread. stop() is clean
+  /// shutdown: the in-flight batch finishes, queued work stays queued.
+  void start();
+  void stop();
+
+  std::size_t batch() const { return batch_; }
+  std::size_t live_sessions() const;
+  DaemonStats stats() const;
+
+ private:
+  struct PendingRequest {
+    std::uint64_t id = 0;
+    std::vector<std::vector<trace::Job>> seqs;  ///< owned copies
+    trace::JobSource* stream = nullptr;
+    int processors = 0;  ///< resolved against the session at submit
+    bool backfill = false;
+    std::size_t chunk_jobs = 4096;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  struct Slot {
+    std::uint32_t index = 0;
+    std::uint32_t gen = 1;
+    bool live = false;
+    bool closing = false;  ///< destroy requested while an episode ran
+    bool active = false;   ///< episode in flight (dispatcher-owned)
+    bool ready = false;    ///< queued in ready_ for admission
+    SessionConfig cfg;
+    std::unique_ptr<sim::SchedulingEnv> env;  ///< pooled across sessions
+    std::deque<PendingRequest> queue;
+
+    // Episode state, touched only by the dispatcher while `active`.
+    PendingRequest current;
+    const rl::Policy* policy = nullptr;
+    std::size_t seq_index = 0;
+    core::ScheduleResult partial;
+  };
+
+  void dispatcher_loop();
+
+  // All of the following run on the dispatcher (under dispatch_mu_).
+  std::size_t run_until_idle();
+  void admit_ready_sessions();
+  bool activate(Slot& slot);  ///< resets env; false = request finished
+  void step_active_once();
+  bool any_active() const;
+  void finish_request(Slot& slot, core::Status status);
+  void release_slot_locked(Slot& slot);  ///< mu_ held
+
+  void complete_locked(std::uint64_t id,
+                       std::chrono::steady_clock::time_point submitted,
+                       core::Status status, core::ScheduleResult result);
+  Slot* resolve_locked(SessionId id);
+
+  const std::size_t batch_;
+  const std::size_t max_sessions_;
+
+  mutable std::mutex mu_;  ///< session table, queues, completions, stats
+  std::condition_variable work_cv_;  ///< dispatcher wakeup
+  std::condition_variable done_cv_;  ///< wait() wakeup
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::unique_ptr<sim::SchedulingEnv>> env_pool_;
+  std::vector<const rl::Policy*> policies_;
+  std::unordered_map<std::uint64_t, Completion> completions_;
+  std::unordered_set<std::uint64_t> inflight_;
+  std::deque<std::uint32_t> ready_;  ///< slots with admissible work
+  std::size_t queued_requests_ = 0;  ///< dispatcher wakeup predicate
+  std::uint64_t next_request_id_ = 1;
+  DaemonStats stats_;
+  bool started_ = false;
+  bool stop_ = false;
+  std::thread dispatcher_;
+
+  // Hot dispatcher counters, updated without mu_; stats() folds them in.
+  std::atomic<std::uint64_t> episodes_{0};
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> forwards_{0};
+  std::atomic<std::uint64_t> forward_windows_{0};
+
+  std::mutex dispatch_mu_;  ///< serializes episode execution
+  // Dispatcher scratch: active episodes bucketed by policy id, plus the
+  // batched-forward slabs (sized once to batch_).
+  std::vector<std::vector<Slot*>> active_by_policy_;
+  std::vector<Slot*> admit_scratch_;
+  std::size_t run_completed_ = 0;
+  rl::ObservationBuilder builder_;
+  std::vector<rl::Observation> obs_;
+  std::vector<const rl::Observation*> obs_ptr_;
+  std::vector<float> logits_;
+  std::vector<std::uint32_t> actions_;
+  std::vector<Slot*> lane_;  ///< window slot -> episode, per chunk
+};
+
+}  // namespace rlsched::serve

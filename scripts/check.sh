@@ -22,8 +22,12 @@
 #                         indexed scheduling core 1k->64k, >=10x
 #                         decisions/sec vs the frozen ReferenceEnv at 64k,
 #                         adversarial staircase mix within 2x of benign),
-#                         and bench_decision_latency (int8 kernel-policy
-#                         inference >= 5x float32 at B=32). The perf build
+#                         bench_decision_latency (int8 kernel-policy
+#                         inference >= 5x float32 at B=32), and
+#                         bench_serve_load (session daemon at 1k/10k
+#                         sessions: bitwise cross-session invariance, no
+#                         dropped requests, >= batch/2 windows packed per
+#                         forward). The perf build
 #                         configures -DRLSCHED_INDEX_STATS=ON so the
 #                         scaling bench reports (and the gate pins)
 #                         backfill node visits per query.
@@ -166,16 +170,22 @@ if [ -n "$PERF" ]; then
     > "$BUILD_DIR/bench_decision_latency.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_decision_latency.json" --tolerance 0.25
+  step "serve daemon load gate (1k/10k sessions, bitwise invariance, >= batch/2 windows per forward)"
+  "$BUILD_DIR/bench/bench_serve_load" --sessions 1000,10000 --json \
+    > "$BUILD_DIR/bench_serve_load.json"
+  python3 scripts/perf_gate.py bench/baseline.json \
+    "$BUILD_DIR/bench_serve_load.json" --tolerance 0.25
   printf '%s== perf gates passed ==%s\n' "$GREEN" "$RESET"
   exit 0
 fi
 
 step "ctest"
 if [ "$SANITIZE" = "thread" ]; then
-  # TSan job: only the tests that exercise the thread pool — the rest are
+  # TSan job: only the tests that exercise threads — the rollout pool and
+  # the serve daemon's dispatcher/client concurrency — the rest are
   # single-threaded and already covered by the other jobs.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'test_ppo_smoke|test_parallel_rollout'
+    -R 'test_ppo_smoke|test_parallel_rollout|test_serve_daemon'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 fi

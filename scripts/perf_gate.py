@@ -49,6 +49,20 @@ bench_sched_scaling — indexed scheduling core on storm backlogs:
   compared against the baseline but only WARN: hosted CI machines
   legitimately differ by more than any useful tolerance.
 
+bench_serve_load — multi-tenant session daemon under a closed-loop burst:
+
+* HARD, host-independent: the invariance self-check must pass (batched
+  cross-session results bitwise equal batch-1 serial results), every
+  submitted request must complete, and the average observation windows
+  packed per batched forward must reach >= batch/2 at every session scale
+  — a pure algorithmic count proving cross-session batching engages.
+
+* batch/jobs are RUN configuration (like simd_lanes): a mismatch with the
+  baseline is a config error and fails hard.
+
+* Aggregate decisions/sec and p99 latency are compared against the
+  baseline but only WARN (absolute host speed).
+
 bench_decision_latency — quantized kernel-policy decision path:
 
 * HARD FLOOR: int8 decisions/sec >= 5x float32 at B=32 (same run, same
@@ -300,10 +314,64 @@ def check_decision_latency(baseline_doc, current_doc, tolerance):
                       tolerance)
 
 
+def check_serve_load(baseline_doc, current_doc, tolerance):
+    # batch/jobs are RUN configuration: numbers at another width are
+    # honest but the baseline was never recorded for them — config error,
+    # same policy as simd_lanes.
+    for field in ("batch", "jobs"):
+        if baseline_doc.get(field) != current_doc.get(field):
+            fail(f"bench config mismatch: {field} is "
+                 f"{current_doc.get(field)} here but the baseline was "
+                 f"recorded at {baseline_doc.get(field)} — refresh "
+                 f"bench/baseline.json for this run configuration")
+            return
+
+    # Bitwise cross-session invariance is the daemon's load-bearing
+    # contract; a fast daemon with different answers is broken, full stop.
+    if current_doc.get("invariant") is not True:
+        fail("cross-session batching invariance violated: batched daemon "
+             "results differ bitwise from batch-1 serial results")
+
+    batch = current_doc.get("batch", 0)
+    floor = batch / 2.0
+    baseline = baseline_doc["metrics"]
+    current = current_doc["metrics"]
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            fail(f"metric '{name}' missing from current run")
+            continue
+
+        if cur.get("completed") != cur.get("submitted"):
+            fail(f"{name}: only {cur.get('completed')} of "
+                 f"{cur.get('submitted')} requests completed — the daemon "
+                 f"dropped work")
+
+        # Windows per forward is a pure algorithmic count (identical on
+        # every host): near `batch` when cross-session batching engages,
+        # 1.0 when the dispatcher quietly degrades to serial service.
+        wpf = cur.get("windows_per_forward", 0.0)
+        status = "ok" if wpf >= floor else "FAIL"
+        print(f"{name:16s} windows/forward {wpf:7.2f} "
+              f"(batch {batch}, gate >= {floor:.1f}) {status}")
+        if wpf < floor:
+            fail(f"{name} cross-session batching disengaged: {wpf:.2f} "
+                 f"windows per forward (gate >= {floor:.1f} at batch "
+                 f"{batch})")
+
+        warn_absolute(name, base, cur, ("dps",), tolerance)
+        if cur["p99_ms"] > base["p99_ms"] * (1.0 + tolerance):
+            print(f"WARN: {name} p99 latency {cur['p99_ms']:.1f} ms is "
+                  f"above the baseline {base['p99_ms']:.1f} ms band (host "
+                  f"speed difference or real regression — the hard gates "
+                  f"above are the signal)")
+
+
 CHECKERS = {
     "bench_batch_inference": check_batch_inference,
     "bench_decision_latency": check_decision_latency,
     "bench_sched_scaling": check_sched_scaling,
+    "bench_serve_load": check_serve_load,
 }
 
 

@@ -1,0 +1,68 @@
+#include "core/api.hpp"
+
+#include "util/env.hpp"
+
+namespace rlsched::core {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+Status validate(const ScheduleRequest& request) {
+  const int sources = (request.jobs != nullptr ? 1 : 0) +
+                      (request.sequences != nullptr ? 1 : 0) +
+                      (request.stream != nullptr ? 1 : 0);
+  if (sources == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "request names no job source (set jobs, sequences, or "
+                  "stream)");
+  }
+  if (sources > 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "request names more than one job source");
+  }
+  if (request.processors < 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "processors must be >= 0 (0 = caller default)");
+  }
+  if (request.stream != nullptr && request.chunk_jobs == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "chunk_jobs must be >= 1 for streamed requests");
+  }
+  return Status::Ok();
+}
+
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig rc;
+  rc.workers = util::env_workers("RLSCHED_WORKERS", kDefaultWorkers);
+  rc.batch = util::env_batch("RLSCHED_BATCH", kDefaultBatch);
+  return rc;
+}
+
+RuntimeConfig RuntimeConfig::resolved() const {
+  const RuntimeConfig env = from_env();
+  RuntimeConfig out;
+  out.workers = workers != 0 ? workers : env.workers;
+  out.batch = batch != 0 ? batch : env.batch;
+  return out;
+}
+
+}  // namespace rlsched::core

@@ -4,6 +4,9 @@ namespace rlsched::core {
 
 namespace {
 rl::PPOConfig to_ppo_config(const RLSchedulerConfig& cfg) {
+  // Knob precedence (explicit > env > default) collapses HERE, once — the
+  // trainer below always sees concrete counts.
+  const RuntimeConfig runtime = cfg.runtime.resolved();
   rl::PPOConfig p;
   p.metric = cfg.metric;
   p.policy = cfg.policy;
@@ -15,8 +18,8 @@ rl::PPOConfig to_ppo_config(const RLSchedulerConfig& cfg) {
   p.v_iters = cfg.v_iters;
   p.minibatch = cfg.minibatch;
   p.seed = cfg.seed;
-  p.n_workers = cfg.n_workers;
-  p.batch = cfg.batch;
+  p.n_workers = runtime.workers;
+  p.batch = runtime.batch;
   return p;
 }
 }  // namespace
@@ -41,29 +44,35 @@ rl::TrainHistory RLScheduler::train(std::size_t epochs,
   return history;
 }
 
-sim::RunResult RLScheduler::schedule(const std::vector<trace::Job>& seq,
-                                     bool backfill) const {
-  return trainer_->evaluate(seq, processors_, backfill);
-}
-
-sim::RunResult RLScheduler::schedule_on(const std::vector<trace::Job>& seq,
-                                        int processors, bool backfill) const {
-  return trainer_->evaluate(seq, processors, backfill);
-}
-
-std::vector<sim::RunResult> RLScheduler::schedule_many(
-    const std::vector<std::vector<trace::Job>>& seqs, int processors,
-    bool backfill) const {
-  return trainer_->evaluate_batch(seqs, processors, backfill);
-}
-
-sim::RunResult RLScheduler::schedule_stream(trace::JobSource& source,
-                                            bool backfill,
-                                            std::size_t chunk_jobs) const {
-  // The stream's own cluster size, not the training one: archive traces
-  // are scheduled on the machine they were recorded on.
-  return trainer_->evaluate_stream(source, source.processors(), backfill,
-                                   chunk_jobs);
+StatusOr<ScheduleResult> RLScheduler::schedule(
+    const ScheduleRequest& request) const {
+  if (Status s = validate(request); !s.ok()) return s;
+  ScheduleResult out;
+  try {
+    if (request.jobs != nullptr) {
+      const int procs =
+          request.processors > 0 ? request.processors : processors_;
+      out.runs.push_back(
+          trainer_->evaluate(*request.jobs, procs, request.backfill));
+    } else if (request.sequences != nullptr) {
+      const int procs =
+          request.processors > 0 ? request.processors : processors_;
+      out.runs = trainer_->evaluate_batch(*request.sequences, procs,
+                                          request.backfill);
+    } else {
+      // The stream's own cluster size by default: archive traces are
+      // scheduled on the machine they were recorded on.
+      const int procs = request.processors > 0 ? request.processors
+                                               : request.stream->processors();
+      out.runs.push_back(trainer_->evaluate_stream(
+          *request.stream, procs, request.backfill, request.chunk_jobs));
+    }
+  } catch (const std::exception& e) {
+    // The engine rejects bad input (e.g. out-of-order streamed submits,
+    // unreadable shards) by throwing from depth; surface it as a status.
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+  return out;
 }
 
 void RLScheduler::save(const std::string& path) const { trainer_->save(path); }

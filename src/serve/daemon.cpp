@@ -1,0 +1,458 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "rl/batch_eval.hpp"
+
+namespace rlsched::serve {
+
+using core::ScheduleRequest;
+using core::ScheduleResult;
+using core::Status;
+using core::StatusCode;
+using core::StatusOr;
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+Daemon::Daemon(DaemonConfig cfg)
+    : batch_(cfg.runtime.resolved().batch), max_sessions_(cfg.max_sessions) {
+  obs_.resize(batch_);
+  obs_ptr_.resize(batch_);
+  logits_.resize(batch_ * rl::kMaxObservable);
+  actions_.resize(batch_);
+  lane_.resize(batch_);
+}
+
+Daemon::~Daemon() { stop(); }
+
+std::uint32_t Daemon::register_policy(const rl::Policy& policy) {
+  std::lock_guard<std::mutex> l(mu_);
+  // Batch scratch grows once, up front, so dispatch never allocates it.
+  policy.reserve_batch(batch_);
+  policies_.push_back(&policy);
+  return static_cast<std::uint32_t>(policies_.size() - 1);
+}
+
+StatusOr<SessionId> Daemon::create_session(const SessionConfig& cfg) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (cfg.processors <= 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "session processors must be >= 1");
+  }
+  if (cfg.policy >= policies_.size()) {
+    return Status(StatusCode::kNotFound, "unknown policy id");
+  }
+  if (stats_.live_sessions >= max_sessions_) {
+    return Status(StatusCode::kResourceExhausted, "session table full");
+  }
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::make_unique<Slot>());
+    slots_.back()->index = index;
+  }
+  Slot& slot = *slots_[index];
+  slot.live = true;
+  slot.closing = false;
+  slot.active = false;
+  slot.ready = false;
+  slot.cfg = cfg;
+  if (!slot.env) {
+    if (!env_pool_.empty()) {
+      // Pooled env: reconfigure-at-admit + reset give bitwise the same
+      // episodes as a freshly constructed env (test_serve_daemon gates
+      // this) — only the reserved capacity survives reuse.
+      slot.env = std::move(env_pool_.back());
+      env_pool_.pop_back();
+    } else {
+      slot.env = std::make_unique<sim::SchedulingEnv>(cfg.processors);
+    }
+  }
+  ++stats_.sessions_created;
+  ++stats_.live_sessions;
+  return SessionId{index, slot.gen};
+}
+
+Status Daemon::destroy_session(SessionId id) {
+  std::lock_guard<std::mutex> l(mu_);
+  Slot* slot = resolve_locked(id);
+  if (slot == nullptr) {
+    return Status(StatusCode::kNotFound, "unknown or stale session");
+  }
+  for (PendingRequest& r : slot->queue) {
+    complete_locked(r.id, r.submitted,
+                    Status(StatusCode::kCancelled, "session destroyed"),
+                    ScheduleResult{});
+    --queued_requests_;
+  }
+  slot->queue.clear();
+  if (slot->active) {
+    // The dispatcher owns the in-flight episode; it delivers the result
+    // and releases the slot when the request finishes.
+    slot->closing = true;
+    return Status::Ok();
+  }
+  release_slot_locked(*slot);
+  return Status::Ok();
+}
+
+StatusOr<RequestId> Daemon::submit(SessionId id,
+                                   const ScheduleRequest& request) {
+  if (Status s = core::validate(request); !s.ok()) return s;
+  std::lock_guard<std::mutex> l(mu_);
+  Slot* slot = resolve_locked(id);
+  if (slot == nullptr) {
+    return Status(StatusCode::kNotFound, "unknown or stale session");
+  }
+  PendingRequest pr;
+  pr.id = next_request_id_++;
+  if (request.jobs != nullptr) {
+    pr.seqs.push_back(*request.jobs);
+  } else if (request.sequences != nullptr) {
+    pr.seqs = *request.sequences;
+  } else {
+    pr.stream = request.stream;
+  }
+  pr.processors =
+      request.processors > 0 ? request.processors : slot->cfg.processors;
+  pr.backfill = request.backfill;
+  pr.chunk_jobs = request.chunk_jobs;
+  pr.submitted = std::chrono::steady_clock::now();
+  const RequestId rid{pr.id};
+  inflight_.insert(pr.id);
+  slot->queue.push_back(std::move(pr));
+  ++queued_requests_;
+  ++stats_.requests_submitted;
+  if (!slot->active && !slot->ready) {
+    slot->ready = true;
+    ready_.push_back(slot->index);
+  }
+  work_cv_.notify_one();
+  return rid;
+}
+
+Status Daemon::try_take(RequestId id, Completion* out) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = completions_.find(id.value);
+  if (it != completions_.end()) {
+    *out = std::move(it->second);
+    completions_.erase(it);
+    return Status::Ok();
+  }
+  if (inflight_.count(id.value) != 0) {
+    return Status(StatusCode::kUnavailable, "request pending");
+  }
+  return Status(StatusCode::kNotFound, "unknown request id");
+}
+
+Status Daemon::wait(RequestId id, Completion* out) {
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    auto it = completions_.find(id.value);
+    if (it != completions_.end()) {
+      *out = std::move(it->second);
+      completions_.erase(it);
+      return Status::Ok();
+    }
+    if (inflight_.count(id.value) == 0) {
+      return Status(StatusCode::kNotFound, "unknown request id");
+    }
+    if (!started_) {
+      // Nothing will ever complete this request — refuse to hang.
+      return Status(StatusCode::kFailedPrecondition,
+                    "no dispatcher running; start() or drain() first");
+    }
+    done_cv_.wait(l);
+  }
+}
+
+Status Daemon::schedule(SessionId id, const ScheduleRequest& request,
+                        ScheduleResult* out) {
+  StatusOr<RequestId> rid = submit(id, request);
+  if (!rid.ok()) return rid.status();
+  Completion c;
+  for (;;) {
+    bool background;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      background = started_;
+    }
+    if (background) {
+      Status s = wait(rid.value(), &c);
+      if (s.code() == StatusCode::kFailedPrecondition) continue;  // stop()ed
+      if (!s.ok()) return s;
+      break;
+    }
+    if (StatusOr<std::size_t> d = drain(); !d.ok()) {
+      // A dispatcher started between the check and the drain; retry.
+      continue;
+    }
+    Status s = try_take(rid.value(), &c);
+    if (s.code() == StatusCode::kUnavailable) {
+      // A concurrent drainer admitted our request; let it finish.
+      std::this_thread::yield();
+      continue;
+    }
+    if (!s.ok()) return s;
+    break;
+  }
+  if (!c.status.ok()) return c.status;
+  *out = std::move(c.result);
+  return Status::Ok();
+}
+
+StatusOr<std::size_t> Daemon::drain() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (started_) {
+      return Status(StatusCode::kFailedPrecondition,
+                    "background dispatcher owns execution; stop() first");
+    }
+  }
+  std::lock_guard<std::mutex> dl(dispatch_mu_);
+  return run_until_idle();
+}
+
+void Daemon::start() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void Daemon::stop() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!started_) return;
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  dispatcher_.join();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    started_ = false;
+    stop_ = false;
+    // Waiters blocked on an in-flight id must re-check and bail out
+    // instead of sleeping on a daemon that no longer dispatches.
+    done_cv_.notify_all();
+  }
+}
+
+std::size_t Daemon::live_sessions() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return stats_.live_sessions;
+}
+
+DaemonStats Daemon::stats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  DaemonStats out = stats_;
+  out.episodes = episodes_.load(std::memory_order_relaxed);
+  out.decisions = decisions_.load(std::memory_order_relaxed);
+  out.forwards = forwards_.load(std::memory_order_relaxed);
+  out.forward_windows = forward_windows_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Daemon::dispatcher_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      work_cv_.wait(l, [this] { return stop_ || queued_requests_ > 0; });
+      if (stop_) return;
+    }
+    std::lock_guard<std::mutex> dl(dispatch_mu_);
+    run_until_idle();
+  }
+}
+
+std::size_t Daemon::run_until_idle() {
+  run_completed_ = 0;
+  for (;;) {
+    admit_ready_sessions();
+    if (!any_active()) break;
+    step_active_once();
+  }
+  return run_completed_;
+}
+
+bool Daemon::any_active() const {
+  for (const auto& bucket : active_by_policy_) {
+    if (!bucket.empty()) return true;
+  }
+  return false;
+}
+
+void Daemon::admit_ready_sessions() {
+  admit_scratch_.clear();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (active_by_policy_.size() < policies_.size()) {
+      active_by_policy_.resize(policies_.size());
+    }
+    while (!ready_.empty()) {
+      Slot* slot = slots_[ready_.front()].get();
+      ready_.pop_front();
+      slot->ready = false;
+      if (!slot->live || slot->closing || slot->active ||
+          slot->queue.empty()) {
+        continue;
+      }
+      slot->current = std::move(slot->queue.front());
+      slot->queue.pop_front();
+      --queued_requests_;
+      slot->seq_index = 0;
+      slot->partial.runs.clear();
+      slot->policy = policies_[slot->cfg.policy];
+      slot->active = true;
+      admit_scratch_.push_back(slot);
+    }
+  }
+  for (Slot* slot : admit_scratch_) {
+    if (activate(*slot)) {
+      active_by_policy_[slot->cfg.policy].push_back(slot);
+    }
+  }
+}
+
+bool Daemon::activate(Slot& slot) {
+  const std::size_t total =
+      slot.current.stream != nullptr ? 1 : slot.current.seqs.size();
+  while (slot.seq_index < total) {
+    try {
+      slot.env->reconfigure(
+          slot.current.processors,
+          sim::EnvConfig{slot.current.backfill, sim::kMaxObservable});
+      if (slot.current.stream != nullptr) {
+        slot.env->reset(*slot.current.stream, slot.current.chunk_jobs);
+      } else {
+        slot.env->reset(slot.current.seqs[slot.seq_index]);
+      }
+    } catch (const std::exception& e) {
+      finish_request(slot, Status(StatusCode::kInvalidArgument, e.what()));
+      return false;
+    }
+    episodes_.fetch_add(1, std::memory_order_relaxed);
+    if (!slot.env->done()) return true;
+    // Empty episode: nothing to decide, record and move on.
+    slot.partial.runs.push_back(slot.env->result());
+    ++slot.seq_index;
+  }
+  finish_request(slot, Status::Ok());
+  return false;
+}
+
+void Daemon::step_active_once() {
+  std::uint64_t stepped = 0;
+  for (auto& bucket : active_by_policy_) {
+    if (bucket.empty()) continue;
+    const rl::Policy& policy = *bucket.front()->policy;
+    std::size_t write = 0;
+    for (std::size_t g = 0; g < bucket.size(); g += batch_) {
+      const std::size_t n = std::min(batch_, bucket.size() - g);
+      for (std::size_t w = 0; w < n; ++w) {
+        lane_[w] = bucket[g + w];
+        builder_.build_into(*lane_[w]->env, obs_[w]);
+        obs_ptr_[w] = &obs_[w];
+      }
+      rl::batched_argmax(policy, obs_ptr_.data(), n, logits_.data(),
+                         actions_.data());
+      forwards_.fetch_add(1, std::memory_order_relaxed);
+      forward_windows_.fetch_add(n, std::memory_order_relaxed);
+      for (std::size_t w = 0; w < n; ++w) {
+        Slot* slot = lane_[w];
+        bool done;
+        try {
+          slot->env->step(actions_[w]);
+          done = slot->env->done();
+        } catch (const std::exception& e) {
+          // Streamed refill rejected mid-episode (e.g. out-of-order
+          // submits): the request fails, the env resets on next use.
+          finish_request(*slot,
+                         Status(StatusCode::kInvalidArgument, e.what()));
+          continue;
+        }
+        ++stepped;
+        if (!done) {
+          bucket[write++] = slot;
+          continue;
+        }
+        slot->partial.runs.push_back(slot->env->result());
+        ++slot->seq_index;
+        if (activate(*slot)) bucket[write++] = slot;
+      }
+    }
+    bucket.resize(write);
+  }
+  decisions_.fetch_add(stepped, std::memory_order_relaxed);
+}
+
+void Daemon::finish_request(Slot& slot, Status status) {
+  std::lock_guard<std::mutex> l(mu_);
+  complete_locked(slot.current.id, slot.current.submitted, std::move(status),
+                  std::move(slot.partial));
+  slot.partial = ScheduleResult{};
+  slot.current = PendingRequest{};  // drop the owned job copies now
+  slot.active = false;
+  slot.policy = nullptr;
+  ++run_completed_;
+  if (slot.closing) {
+    release_slot_locked(slot);
+    return;
+  }
+  if (!slot.queue.empty() && !slot.ready) {
+    slot.ready = true;
+    ready_.push_back(slot.index);
+  }
+}
+
+void Daemon::release_slot_locked(Slot& slot) {
+  env_pool_.push_back(std::move(slot.env));
+  slot.live = false;
+  slot.closing = false;
+  slot.active = false;
+  slot.ready = false;
+  ++slot.gen;
+  free_slots_.push_back(slot.index);
+  ++stats_.sessions_destroyed;
+  --stats_.live_sessions;
+}
+
+void Daemon::complete_locked(std::uint64_t id,
+                             std::chrono::steady_clock::time_point submitted,
+                             Status status, ScheduleResult result) {
+  Completion c;
+  c.latency_seconds = seconds_since(submitted);
+  const bool cancelled = status.code() == StatusCode::kCancelled;
+  const bool ok = status.ok();
+  c.status = std::move(status);
+  c.result = std::move(result);
+  inflight_.erase(id);
+  completions_.emplace(id, std::move(c));
+  if (cancelled) {
+    ++stats_.requests_cancelled;
+  } else {
+    ++stats_.requests_completed;
+    if (!ok) ++stats_.requests_failed;
+  }
+  done_cv_.notify_all();
+}
+
+Daemon::Slot* Daemon::resolve_locked(SessionId id) {
+  if (id.index >= slots_.size()) return nullptr;
+  Slot* slot = slots_[id.index].get();
+  if (!slot->live || slot->closing || slot->gen != id.gen) return nullptr;
+  return slot;
+}
+
+}  // namespace rlsched::serve

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "core/api.hpp"
 #include "test_util.hpp"
 #include "util/env.hpp"
 
@@ -110,6 +111,50 @@ int main() {
   CHECK(env_batch("RLSCHED_TEST_VAR", 8) == 1);
   put("RLSCHED_TEST_VAR", "999999999");
   CHECK(env_batch("RLSCHED_TEST_VAR", 8) == kMaxBatchWindows);
+
+  // RuntimeConfig: the ONE place RLSCHED_WORKERS / RLSCHED_BATCH parsing
+  // and the explicit > env > default precedence chain live, shared by
+  // RLSchedulerConfig and the serve daemon.
+  using rlsched::core::RuntimeConfig;
+
+  // Unset env, unset fields -> built-in defaults.
+  unsetenv("RLSCHED_WORKERS");
+  unsetenv("RLSCHED_BATCH");
+  RuntimeConfig rc;
+  CHECK(rc.workers == 0 && rc.batch == 0);  // 0 = defer
+  CHECK(rc.resolved().workers == RuntimeConfig::kDefaultWorkers);
+  CHECK(rc.resolved().batch == RuntimeConfig::kDefaultBatch);
+
+  // Env set, fields unset -> env wins (through the validated parsers).
+  put("RLSCHED_WORKERS", "2");
+  put("RLSCHED_BATCH", "32");
+  CHECK(RuntimeConfig::from_env().workers ==
+        (hw > 0 ? std::min<std::size_t>(2, hw) : 2));
+  CHECK(RuntimeConfig::from_env().batch == 32);
+  CHECK(rc.resolved().workers == RuntimeConfig::from_env().workers);
+  CHECK(rc.resolved().batch == 32);
+
+  // Explicit fields beat the env.
+  RuntimeConfig explicit_rc;
+  explicit_rc.workers = 1;
+  explicit_rc.batch = 4;
+  CHECK(explicit_rc.resolved().workers == 1);
+  CHECK(explicit_rc.resolved().batch == 4);
+
+  // Mixed: one explicit field, the other deferred.
+  RuntimeConfig mixed;
+  mixed.batch = 16;
+  CHECK(mixed.resolved().workers == RuntimeConfig::from_env().workers);
+  CHECK(mixed.resolved().batch == 16);
+
+  // Garbage env falls back to the built-in default, not to garbage.
+  put("RLSCHED_WORKERS", "abc");
+  put("RLSCHED_BATCH", "-1");
+  CHECK(RuntimeConfig::from_env().workers == RuntimeConfig::kDefaultWorkers);
+  CHECK(RuntimeConfig::from_env().batch == RuntimeConfig::kDefaultBatch);
+
+  unsetenv("RLSCHED_WORKERS");
+  unsetenv("RLSCHED_BATCH");
 
   std::puts("env parsing: OK");
   return 0;

@@ -76,7 +76,12 @@ int main() {
   // Greedy scheduling works and yields finite metrics.
   util::Rng rng(3);
   const auto seq = trace.sample_sequence(rng, 128);
-  const auto result = scheduler.schedule(seq, /*backfill=*/true);
+  core::ScheduleRequest req;
+  req.jobs = &seq;
+  req.backfill = true;
+  const auto scheduled = scheduler.schedule(req);
+  CHECK(scheduled.ok());
+  const auto result = scheduled.value().run();
   CHECK(result.jobs == seq.size());
   CHECK(std::isfinite(result.avg_bounded_slowdown));
   CHECK(result.utilization > 0.0 && result.utilization <= 1.0 + 1e-9);
@@ -88,7 +93,7 @@ int main() {
   core::RLScheduler reloaded(trace, cfg);
   reloaded.load(path);
   std::remove(path.c_str());
-  const auto result2 = reloaded.schedule(seq, /*backfill=*/true);
+  const auto result2 = reloaded.schedule(req).value().run();
   CHECK_NEAR(result2.avg_bounded_slowdown, result.avg_bounded_slowdown, 1e-9);
   CHECK_NEAR(result2.avg_wait, result.avg_wait, 1e-9);
 
