@@ -1,0 +1,76 @@
+#pragma once
+// serve::Client — the in-process Daemon surface re-exposed over a
+// serve::Server socket: the same create/destroy/submit/try_take/wait/
+// schedule verbs with the same core::Status vocabulary, so swapping the
+// transport swaps nothing else (and the results are bitwise identical —
+// the wire round-trips every double by bit pattern).
+//
+// Threading: the blocking verbs assume ONE outstanding operation at a
+// time (each reads exactly its own reply frame). The pipelined pair
+// send_schedule()/recv_completion() supports the open-loop bench split:
+// one submitter thread sending (sends are serialized internally), one
+// collector thread receiving — never more than one reader.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/status.hpp"
+#include "serve/daemon.hpp"
+#include "serve/wire.hpp"
+
+namespace rlsched::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  core::Status connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- blocking verbs (one outstanding op per client) ---
+  core::StatusOr<SessionId> create_session(const SessionConfig& cfg);
+  core::Status destroy_session(SessionId id);
+  /// Streams are rejected locally (kInvalidArgument): a trace::JobSource
+  /// cannot cross a process boundary.
+  core::StatusOr<RequestId> submit(SessionId id,
+                                   const core::ScheduleRequest& request);
+  core::Status try_take(RequestId id, Completion* out);
+  core::Status wait(RequestId id, Completion* out);
+  core::Status schedule(SessionId id, const core::ScheduleRequest& request,
+                        core::ScheduleResult* out);
+
+  // --- pipelined path (open-loop load generation) ---
+  /// Fire a kSchedule frame tagged `tag` without waiting for the reply.
+  core::Status send_schedule(SessionId id,
+                             const core::ScheduleRequest& request,
+                             std::uint64_t tag);
+  /// Block for the next kCompletionReply frame; `*tag` identifies which
+  /// send_schedule it answers. A non-OK return is a transport/protocol
+  /// failure; per-request failures come back in completion->status.
+  core::Status recv_completion(std::uint64_t* tag, Completion* out);
+
+  // --- raw escape hatch (malformed-frame tests) ---
+  core::Status send_raw(const std::uint8_t* data, std::size_t len);
+  /// Read one frame of any type; returns its header and decoded leading
+  /// Status (every reply starts with one).
+  core::Status recv_reply(wire::Header* header, core::Status* status);
+
+ private:
+  core::Status send_all(const std::uint8_t* data, std::size_t len);
+  core::Status recv_frame(wire::Header* header,
+                          std::vector<std::uint8_t>* payload);
+
+  int fd_ = -1;
+  std::mutex send_mu_;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace rlsched::serve

@@ -1,30 +1,46 @@
 #pragma once
 // Scheduling-as-a-service: a long-lived multi-tenant session daemon that
 // multiplexes thousands of concurrent scheduling sessions — independent
-// simulated clusters, what-if queries, replay streams — onto ONE batched
-// inference engine.
+// simulated clusters, what-if queries, replay streams — onto batched
+// inference engines.
 //
 // Architecture:
 //
-//   clients (any thread)                 dispatcher (one thread at a time)
+//   clients (any thread)                 dispatcher shards (1..N threads)
 //   --------------------                 --------------------------------
 //   create_session / destroy_session     admit: pop a session's next queued
-//   submit(ScheduleRequest) -> id          request, reset its pooled env
-//   try_take / wait(id)                  step:  group ACTIVE episodes by
-//         |                                policy, pack up to B observation
-//         v                                windows per group into one
-//   session table (mutex-guarded):        B x 128 batched policy forward
-//     slot = { generation, config,        (rl::batched_argmax), step each
-//              pooled SchedulingEnv,      env with its own argmax
-//              request queue }          complete: store the Completion,
+//   submit(ScheduleRequest) -> id          request, attach a pooled env,
+//   try_take / wait(id)                    reset it
+//         |                              step:  group ACTIVE episodes by
+//         v                                policy, pack up to B observation
+//   session table (mutex-guarded):        windows per group into one
+//     slot = { generation, config,        B x 128 batched policy forward
+//              request queue,             (rl::batched_argmax), step each
+//              env while active }         env with its own argmax
+//                                       complete: store the Completion,
 //                                         re-admit the session's next
-//                                         request, recycle envs of closed
-//                                         sessions into the pool
+//                                         request or return the env to the
+//                                         pool (idle sessions hold NO env,
+//                                         so a 100k-session table stays
+//                                         slim)
+//
+// PER-POLICY SHARDING: policy id p executes on dispatcher shard
+// p % dispatchers. Sessions of independent policies batch-forward in
+// parallel on different shards; sessions of one policy always execute on
+// one shard, so each registered policy's mutable forward scratch is still
+// driven by exactly one thread and needs no locking. Because a session's
+// episodes depend only on its own env and its policy's weights, N-shard
+// execution is BITWISE IDENTICAL to single-dispatcher execution
+// (tests/test_serve_daemon.cpp and bench_serve_load gate this). Corollary:
+// with dispatchers > 1, registering the SAME rl::Policy object under two
+// ids that map to different shards is a data race — give each id its own
+// (identically-weighted, if desired) object.
 //
 // The daemon speaks the same core::ScheduleRequest / ScheduleResult /
 // Status contract as the in-process façade; protocol failures (unknown
 // session, table full, cancelled-by-destroy, ...) map onto the same
-// core::StatusCode enum.
+// core::StatusCode enum. serve::Server exposes exactly this contract over
+// a socket (serve/wire.hpp).
 //
 // Cross-session batching is BITWISE INVISIBLE in every result: each
 // batched logits row equals the unbatched forward of that window (the
@@ -35,11 +51,11 @@
 //
 // Threading contract: the session table, request queues, and completion
 // store are internally synchronized — any thread may create/destroy
-// sessions, submit, and poll concurrently. Episode execution (envs +
-// policy forwards) is serialized on one dispatcher at a time: either the
-// background thread after start(), or the caller of drain(). Registered
-// policies are driven only by that dispatcher, so their mutable forward
-// scratch needs no locking; they must outlive the daemon.
+// sessions, submit, and poll concurrently. Episode execution is serialized
+// PER SHARD: either the background threads after start(), or the caller of
+// drain() (which serves every shard on the calling thread). Registered
+// policies are driven only by their shard's dispatcher; they must outlive
+// the daemon.
 
 #include <atomic>
 #include <chrono>
@@ -87,10 +103,13 @@ struct DaemonConfig {
   /// runtime.batch = cross-session windows per batched policy forward
   /// (0 defers to RLSCHED_BATCH, then the built-in default — the same
   /// precedence chain as RLSchedulerConfig). runtime.workers is not used:
-  /// episode execution is single-dispatcher by design (the batched forward
-  /// is where the parallelism lives).
+  /// per-shard execution is single-threaded by design (the batched forward
+  /// is where the within-policy parallelism lives).
   core::RuntimeConfig runtime;
   std::size_t max_sessions = 1u << 20;
+  /// Dispatcher shards (0 is treated as 1). Policy id p executes on shard
+  /// p % dispatchers; see the sharding contract in the header comment.
+  std::size_t dispatchers = 1;
 };
 
 struct DaemonStats {
@@ -120,7 +139,7 @@ struct Completion {
 class Daemon {
  public:
   explicit Daemon(DaemonConfig cfg = {});
-  ~Daemon();  ///< stop()s the dispatcher; queued requests are dropped
+  ~Daemon();  ///< stop()s the dispatchers; queued requests are dropped
 
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
@@ -128,13 +147,13 @@ class Daemon {
   /// Register a policy for sessions to reference. The daemon borrows the
   /// policy (caller keeps ownership; it must outlive the daemon) and
   /// prewarms its batch scratch to the daemon's batch width. Only the
-  /// dispatcher ever runs forwards on it.
+  /// owning shard's dispatcher ever runs forwards on it.
   std::uint32_t register_policy(const rl::Policy& policy);
 
   core::StatusOr<SessionId> create_session(const SessionConfig& cfg);
 
   /// Destroy a session. Queued requests complete as kCancelled; an episode
-  /// already in flight on the dispatcher finishes and delivers its result
+  /// already in flight on a dispatcher finishes and delivers its result
   /// (a replay you asked for is a replay you get), after which the
   /// session's env returns to the pool and the slot generation bumps.
   core::Status destroy_session(SessionId id);
@@ -152,27 +171,43 @@ class Daemon {
   /// exactly once.
   core::Status try_take(RequestId id, Completion* out);
 
-  /// Block until `id` completes (requires a running dispatcher or an
-  /// already-available completion; kFailedPrecondition otherwise — a
+  /// Block until `id` completes. Requires someone who can complete it: a
+  /// running background dispatcher, an active drain()er on another thread,
+  /// or an already-available completion — kFailedPrecondition otherwise (a
   /// wait that nothing can satisfy must not hang).
   core::Status wait(RequestId id, Completion* out);
 
   /// Submit + run to completion, for synchronous callers: drains on the
-  /// calling thread when no dispatcher is running, waits otherwise.
+  /// calling thread when no dispatcher is running, waits otherwise. Racing
+  /// start()/stop()/drain() transitions are retried a BOUNDED number of
+  /// times; when every retry loses the race (adversarial lifecycle churn),
+  /// the call returns a terminal kUnavailable and the submitted request
+  /// remains pollable via try_take()/wait() — it never busy-spins.
   core::Status schedule(SessionId id, const core::ScheduleRequest& request,
                         core::ScheduleResult* out);
 
-  /// Serve every queued request to completion on the CALLING thread.
-  /// Returns the number of requests completed; kFailedPrecondition while a
-  /// background dispatcher owns execution.
+  /// Serve every queued request to completion on the CALLING thread,
+  /// visiting each shard in turn. Returns the number of requests
+  /// completed; kFailedPrecondition while a background dispatcher owns
+  /// execution. Concurrent drain() calls are legal and serialize per
+  /// shard.
   core::StatusOr<std::size_t> drain();
 
-  /// Start / stop the background dispatcher thread. stop() is clean
-  /// shutdown: the in-flight batch finishes, queued work stays queued.
+  /// Start / stop the background dispatcher threads (one per shard).
+  /// stop() is clean shutdown: in-flight batches finish, queued work stays
+  /// queued.
   void start();
   void stop();
 
+  /// Observer fired inside complete_locked for every finished (or
+  /// cancelled) request, with the daemon mutex HELD: the hook must not
+  /// call back into the daemon — push the id somewhere and wake your own
+  /// consumer (serve::Server uses an eventfd). Set before start().
+  using CompletionHook = void (*)(void* ctx, std::uint64_t request_id);
+  void set_completion_hook(CompletionHook hook, void* ctx);
+
   std::size_t batch() const { return batch_; }
+  std::size_t dispatchers() const { return shards_.size(); }
   std::size_t live_sessions() const;
   DaemonStats stats() const;
 
@@ -193,27 +228,56 @@ class Daemon {
     bool live = false;
     bool closing = false;  ///< destroy requested while an episode ran
     bool active = false;   ///< episode in flight (dispatcher-owned)
-    bool ready = false;    ///< queued in ready_ for admission
+    bool ready = false;    ///< queued in its shard's ready deque
     SessionConfig cfg;
-    std::unique_ptr<sim::SchedulingEnv> env;  ///< pooled across sessions
+    /// Attached by the dispatcher at admit, returned to the pool when the
+    /// session goes idle — an idle session costs its queue, not an env.
+    std::unique_ptr<sim::SchedulingEnv> env;
     std::deque<PendingRequest> queue;
 
-    // Episode state, touched only by the dispatcher while `active`.
+    // Episode state, touched only by the owning shard while `active`.
     PendingRequest current;
     const rl::Policy* policy = nullptr;
     std::size_t seq_index = 0;
     core::ScheduleResult partial;
   };
 
-  void dispatcher_loop();
+  /// One dispatcher shard: its slice of the ready queue, its wakeup
+  /// channel, and all the scratch its executions need. `dispatch_mu`
+  /// serializes episode execution on this shard (background thread or
+  /// drain()er); everything below it is owned by whoever holds it.
+  struct Shard {
+    std::size_t id = 0;               ///< index into shards_
+    std::deque<std::uint32_t> ready;  ///< mu_-guarded
+    std::size_t queued = 0;           ///< mu_-guarded admissible requests
+    std::condition_variable work_cv;  ///< paired with mu_
+    std::thread thread;
 
-  // All of the following run on the dispatcher (under dispatch_mu_).
-  std::size_t run_until_idle();
-  void admit_ready_sessions();
-  bool activate(Slot& slot);  ///< resets env; false = request finished
-  void step_active_once();
-  bool any_active() const;
-  void finish_request(Slot& slot, core::Status status);
+    std::mutex dispatch_mu;
+    std::vector<std::vector<Slot*>> active_by_policy;
+    std::vector<Slot*> admit_scratch;
+    std::size_t run_completed = 0;
+    rl::ObservationBuilder builder;
+    std::vector<rl::Observation> obs;
+    std::vector<const rl::Observation*> obs_ptr;
+    std::vector<float> logits;
+    std::vector<std::uint32_t> actions;
+    std::vector<Slot*> lane;  ///< window slot -> episode, per chunk
+  };
+
+  std::size_t shard_of(std::uint32_t policy) const {
+    return policy % shards_.size();
+  }
+
+  void dispatcher_loop(Shard& shard);
+
+  // All of the following run on a shard (under its dispatch_mu).
+  std::size_t run_until_idle(Shard& shard);
+  void admit_ready_sessions(Shard& shard);
+  bool activate(Shard& shard, Slot& slot);  ///< false = request finished
+  void step_active_once(Shard& shard);
+  static bool any_active(const Shard& shard);
+  void finish_request(Shard& shard, Slot& slot, core::Status status);
   void release_slot_locked(Slot& slot);  ///< mu_ held
 
   void complete_locked(std::uint64_t id,
@@ -225,7 +289,6 @@ class Daemon {
   const std::size_t max_sessions_;
 
   mutable std::mutex mu_;  ///< session table, queues, completions, stats
-  std::condition_variable work_cv_;  ///< dispatcher wakeup
   std::condition_variable done_cv_;  ///< wait() wakeup
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::uint32_t> free_slots_;
@@ -233,32 +296,21 @@ class Daemon {
   std::vector<const rl::Policy*> policies_;
   std::unordered_map<std::uint64_t, Completion> completions_;
   std::unordered_set<std::uint64_t> inflight_;
-  std::deque<std::uint32_t> ready_;  ///< slots with admissible work
-  std::size_t queued_requests_ = 0;  ///< dispatcher wakeup predicate
   std::uint64_t next_request_id_ = 1;
   DaemonStats stats_;
   bool started_ = false;
   bool stop_ = false;
-  std::thread dispatcher_;
+  int active_drainers_ = 0;  ///< wait() liveness: drains count as dispatch
+  CompletionHook completion_hook_ = nullptr;
+  void* completion_hook_ctx_ = nullptr;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   // Hot dispatcher counters, updated without mu_; stats() folds them in.
   std::atomic<std::uint64_t> episodes_{0};
   std::atomic<std::uint64_t> decisions_{0};
   std::atomic<std::uint64_t> forwards_{0};
   std::atomic<std::uint64_t> forward_windows_{0};
-
-  std::mutex dispatch_mu_;  ///< serializes episode execution
-  // Dispatcher scratch: active episodes bucketed by policy id, plus the
-  // batched-forward slabs (sized once to batch_).
-  std::vector<std::vector<Slot*>> active_by_policy_;
-  std::vector<Slot*> admit_scratch_;
-  std::size_t run_completed_ = 0;
-  rl::ObservationBuilder builder_;
-  std::vector<rl::Observation> obs_;
-  std::vector<const rl::Observation*> obs_ptr_;
-  std::vector<float> logits_;
-  std::vector<std::uint32_t> actions_;
-  std::vector<Slot*> lane_;  ///< window slot -> episode, per chunk
 };
 
 }  // namespace rlsched::serve

@@ -1,0 +1,139 @@
+#pragma once
+// serve::Server — the network front end of the session daemon: a
+// non-blocking epoll socket loop speaking the serve/wire.hpp framing of
+// the core::ScheduleRequest contract over loopback (or any TCP) sockets.
+//
+// Thread model:
+//
+//   accept thread (1, blocking)      event threads (N, epoll_wait)
+//   ---------------------------      -----------------------------------
+//   accept4(SOCK_NONBLOCK)           edge-triggered + EPOLLONESHOT per
+//   register conn in epoll             connection: exactly one thread
+//                                      drains and dispatches a given
+//                                      connection at a time (no per-frame
+//                                      locking), rearmed after each drain
+//
+// Requests dispatch straight into the shared serve::Daemon (which runs
+// its own dispatcher shards); replies are written inline by the event
+// thread. The deferred replies (kSchedule, kWait) flow back through the
+// daemon's completion hook: the hook — called under the daemon lock —
+// only enqueues the finished request id and signals an eventfd, and the
+// event thread that wakes on the eventfd routes each id to the connection
+// that asked for it. A route registered after its completion fired is
+// caught by the `unclaimed` set; a completion fired after registration is
+// caught by re-polling try_take() once the route is in place — between
+// the two, exactly one side delivers the reply.
+//
+// Malformed input never crashes the server: payload decode errors get a
+// kInvalidArgument reply and the connection closes (a corrupt length
+// prefix cannot be resynchronized); a disconnected client's sessions are
+// destroyed (queued requests cancel) and its pending deferred replies are
+// discarded.
+//
+// Results over this socket path are BITWISE IDENTICAL to in-process
+// Daemon calls: the wire format round-trips doubles by bit pattern and
+// the server adds no computation of its own
+// (tests/test_serve_server.cpp and bench_serve_load --transport socket
+// gate this).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/status.hpp"
+#include "serve/daemon.hpp"
+#include "serve/wire.hpp"
+
+namespace rlsched::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; Server::port() reports it
+  std::size_t event_threads = 2;
+};
+
+class Server {
+ public:
+  /// Binds, installs the completion hook, start()s the daemon (idempotent)
+  /// and spawns the socket threads. The daemon must outlive the server;
+  /// one server per daemon (the server owns the daemon's completion hook).
+  /// Check status() — a failed bind reports there, not by crashing.
+  explicit Server(Daemon& daemon, ServerConfig cfg = {});
+  ~Server();  ///< stop()s the socket loop; the daemon keeps running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// OK once listening; the bind/listen/epoll failure otherwise.
+  const core::Status& status() const { return init_status_; }
+  /// The bound port (resolves an ephemeral request).
+  std::uint16_t port() const { return port_; }
+
+  /// Shut the socket loop down: stop accepting, join the threads, close
+  /// every connection (destroying the sessions each owned). Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::atomic<bool> closed{false};
+    std::vector<std::uint8_t> rbuf;  ///< event-thread-owned (EPOLLONESHOT)
+    std::mutex mu;                   ///< write path + owned sessions
+    std::vector<SessionId> owned;    ///< destroyed when the conn closes
+  };
+  struct Route {
+    std::shared_ptr<Conn> conn;
+    std::uint64_t tag = 0;
+  };
+
+  static void completion_hook(void* ctx, std::uint64_t request_id);
+
+  void accept_loop();
+  void event_loop();
+  void handle_readable(const std::shared_ptr<Conn>& conn);
+  /// Returns false when the connection must close (malformed payload).
+  bool dispatch(const std::shared_ptr<Conn>& conn, const wire::Header& h,
+                wire::Reader& r);
+  /// The kSchedule/kWait deferral protocol (header comment).
+  void defer_completion(const std::shared_ptr<Conn>& conn, std::uint64_t tag,
+                        std::uint64_t id);
+  void deliver_completions();
+  void write_frame(const std::shared_ptr<Conn>& conn,
+                   const std::vector<std::uint8_t>& bytes);
+  void rearm(const Conn& conn);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+
+  Daemon& daemon_;
+  ServerConfig cfg_;
+  core::Status init_status_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> event_threads_;
+
+  std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  /// Deferred-reply bookkeeping; never hold while calling the daemon.
+  std::mutex route_mu_;
+  std::unordered_map<std::uint64_t, Route> routes_;
+  std::unordered_set<std::uint64_t> unclaimed_;  ///< completed, no route yet
+  std::unordered_set<std::uint64_t> orphaned_;   ///< route's conn closed
+
+  std::mutex completed_mu_;
+  std::vector<std::uint64_t> completed_;  ///< hook -> eventfd handler
+};
+
+}  // namespace rlsched::serve

@@ -49,4 +49,23 @@ inline constexpr std::size_t kMaxBatchWindows = 256;
 /// it is still reported.
 std::size_t env_batch(const char* name, std::size_t fallback = 8);
 
+// --- strict string parsers for CLI flags and config-file values ---
+//
+// Environment knobs above degrade to a default with a warning (an env var
+// is ambient — a typo must not abort a bench sweep). A CLI flag or JSON
+// config value was ASKED FOR explicitly, so these parsers FAIL instead:
+// empty, trailing garbage ("1O", "10k"), out-of-range, zero/negative
+// counts — all return false and leave *out untouched. Callers report the
+// bad token and exit rather than silently running a different experiment.
+
+/// Strict positive integer count (session counts, batch widths, job
+/// counts, ...). The whole string must parse; the value must be >= 1 and,
+/// when `max_value` > 0, <= max_value.
+bool parse_count(const std::string& text, std::size_t* out,
+                 std::size_t max_value = 0);
+
+/// Strict finite double in [min_value, max_value].
+bool parse_double(const std::string& text, double* out,
+                  double min_value = -1e308, double max_value = 1e308);
+
 }  // namespace rlsched::util

@@ -23,6 +23,14 @@ struct Summary {
 /// Sorts a copy of `values`; empty input returns a zeroed Summary.
 Summary summarize(const std::vector<double>& values);
 
+/// Nearest-rank percentile of an ALREADY ASCENDING-SORTED vector:
+/// sorted[ceil(p * n) - 1] for p in (0, 1], i.e. the smallest element with
+/// at least p·n of the distribution at or below it — always a real sample,
+/// never an interpolation. Empty input returns 0. (Truncating p * (n - 1),
+/// the classic shortcut, picks index 8 of 10 for p99 and reports the 90th
+/// percentile of a small latency vector as its 99th.)
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
 /// Welford's online mean/variance.
 class RunningStats {
  public:

@@ -24,10 +24,13 @@
 #                         adversarial staircase mix within 2x of benign),
 #                         bench_decision_latency (int8 kernel-policy
 #                         inference >= 5x float32 at B=32), and
-#                         bench_serve_load (session daemon at 1k/10k
-#                         sessions: bitwise cross-session invariance, no
-#                         dropped requests, >= batch/2 windows packed per
-#                         forward). The perf build
+#                         bench_serve_load (session daemon, closed-loop
+#                         1k/10k bursts plus open-loop Poisson arrivals
+#                         over a 100k-session table, in-process AND over
+#                         loopback sockets: bitwise batch/shard/wire
+#                         invariance, no dropped requests, >= batch/2
+#                         windows packed per forward on closed-loop
+#                         rows). The perf build
 #                         configures -DRLSCHED_INDEX_STATS=ON so the
 #                         scaling bench reports (and the gate pins)
 #                         backfill node visits per query.
@@ -170,9 +173,9 @@ if [ -n "$PERF" ]; then
     > "$BUILD_DIR/bench_decision_latency.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_decision_latency.json" --tolerance 0.25
-  step "serve daemon load gate (1k/10k sessions, bitwise invariance, >= batch/2 windows per forward)"
-  "$BUILD_DIR/bench/bench_serve_load" --sessions 1000,10000 --json \
-    > "$BUILD_DIR/bench_serve_load.json"
+  step "serve daemon load gate (1k/10k closed + 100k open-loop, inproc + socket, bitwise batch/shard/wire invariance)"
+  "$BUILD_DIR/bench/bench_serve_load" --sessions 1000,10000 --open-loop \
+    --json > "$BUILD_DIR/bench_serve_load.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_serve_load.json" --tolerance 0.25
   printf '%s== perf gates passed ==%s\n' "$GREEN" "$RESET"
@@ -181,11 +184,12 @@ fi
 
 step "ctest"
 if [ "$SANITIZE" = "thread" ]; then
-  # TSan job: only the tests that exercise threads — the rollout pool and
-  # the serve daemon's dispatcher/client concurrency — the rest are
+  # TSan job: only the tests that exercise threads — the rollout pool,
+  # the serve daemon's dispatcher/client concurrency, and the socket
+  # server's accept/event/completion threads — the rest are
   # single-threaded and already covered by the other jobs.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'test_ppo_smoke|test_parallel_rollout|test_serve_daemon'
+    -R 'test_ppo_smoke|test_parallel_rollout|test_serve_daemon|test_serve_server'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 fi

@@ -49,19 +49,24 @@ bench_sched_scaling — indexed scheduling core on storm backlogs:
   compared against the baseline but only WARN: hosted CI machines
   legitimately differ by more than any useful tolerance.
 
-bench_serve_load — multi-tenant session daemon under a closed-loop burst:
+bench_serve_load — multi-tenant session daemon, closed-loop bursts
+(in-process and over loopback sockets) plus open-loop Poisson arrivals:
 
-* HARD, host-independent: the invariance self-check must pass (batched
-  cross-session results bitwise equal batch-1 serial results), every
-  submitted request must complete, and the average observation windows
-  packed per batched forward must reach >= batch/2 at every session scale
-  — a pure algorithmic count proving cross-session batching engages.
+* HARD, host-independent: all three bitwise invariance self-checks must
+  pass (batch-B == batch-1 serial; N-dispatcher sharded == single
+  dispatcher; socket == in-process), every submitted request must
+  complete on every row, and the average observation windows packed per
+  batched forward must reach >= batch/2 on every CLOSED-LOOP row — a
+  pure algorithmic count proving cross-session batching engages.
+  Open-loop rows (ol_*/sock_ol_* prefixes) are exempt from the
+  windows/forward floor: Poisson arrivals are sparse by design.
 
-* batch/jobs are RUN configuration (like simd_lanes): a mismatch with the
-  baseline is a config error and fails hard.
+* batch/jobs/dispatchers are RUN configuration (like simd_lanes): a
+  mismatch with the baseline is a config error and fails hard.
 
 * Aggregate decisions/sec and p99 latency are compared against the
-  baseline but only WARN (absolute host speed).
+  baseline but only WARN (absolute host speed; open-loop p99 measures
+  queueing delay at the offered rate).
 
 bench_decision_latency — quantized kernel-policy decision path:
 
@@ -315,10 +320,10 @@ def check_decision_latency(baseline_doc, current_doc, tolerance):
 
 
 def check_serve_load(baseline_doc, current_doc, tolerance):
-    # batch/jobs are RUN configuration: numbers at another width are
-    # honest but the baseline was never recorded for them — config error,
-    # same policy as simd_lanes.
-    for field in ("batch", "jobs"):
+    # batch/jobs/dispatchers are RUN configuration: numbers at another
+    # width are honest but the baseline was never recorded for them —
+    # config error, same policy as simd_lanes.
+    for field in ("batch", "jobs", "dispatchers"):
         if baseline_doc.get(field) != current_doc.get(field):
             fail(f"bench config mismatch: {field} is "
                  f"{current_doc.get(field)} here but the baseline was "
@@ -326,11 +331,25 @@ def check_serve_load(baseline_doc, current_doc, tolerance):
                  f"bench/baseline.json for this run configuration")
             return
 
-    # Bitwise cross-session invariance is the daemon's load-bearing
-    # contract; a fast daemon with different answers is broken, full stop.
-    if current_doc.get("invariant") is not True:
-        fail("cross-session batching invariance violated: batched daemon "
-             "results differ bitwise from batch-1 serial results")
+    # The three bitwise invariance self-checks are the daemon's
+    # load-bearing contracts, host-independent by construction; a fast
+    # daemon with different answers is broken, full stop.
+    invariants = (
+        ("invariant", "cross-session batching invariance violated: "
+         "batched daemon results differ bitwise from batch-1 serial "
+         "results"),
+        ("shard_invariant", "dispatcher sharding invariance violated: "
+         "N-dispatcher results differ bitwise from the single-dispatcher "
+         "daemon"),
+        ("wire_invariant", "wire framing invariance violated: socket "
+         "results differ bitwise from in-process results"),
+    )
+    for key, msg in invariants:
+        ok = current_doc.get(key) is True
+        print(f"{key:16s} {'true' if ok else current_doc.get(key)} "
+              f"(hard gate) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            fail(msg)
 
     batch = current_doc.get("batch", 0)
     floor = batch / 2.0
@@ -350,14 +369,22 @@ def check_serve_load(baseline_doc, current_doc, tolerance):
         # Windows per forward is a pure algorithmic count (identical on
         # every host): near `batch` when cross-session batching engages,
         # 1.0 when the dispatcher quietly degrades to serial service.
-        wpf = cur.get("windows_per_forward", 0.0)
-        status = "ok" if wpf >= floor else "FAIL"
-        print(f"{name:16s} windows/forward {wpf:7.2f} "
-              f"(batch {batch}, gate >= {floor:.1f}) {status}")
-        if wpf < floor:
-            fail(f"{name} cross-session batching disengaged: {wpf:.2f} "
-                 f"windows per forward (gate >= {floor:.1f} at batch "
-                 f"{batch})")
+        # Open-loop rows (ol_*/sock_ol_*) are exempt: Poisson arrivals are
+        # sparse by design, so their honest windows/forward sits near 1
+        # and only the completion accounting above gates them.
+        if name.startswith(("ol_", "sock_ol_")):
+            print(f"{name:16s} windows/forward "
+                  f"{cur.get('windows_per_forward', 0.0):7.2f} "
+                  f"(open-loop row: no floor)")
+        else:
+            wpf = cur.get("windows_per_forward", 0.0)
+            status = "ok" if wpf >= floor else "FAIL"
+            print(f"{name:16s} windows/forward {wpf:7.2f} "
+                  f"(batch {batch}, gate >= {floor:.1f}) {status}")
+            if wpf < floor:
+                fail(f"{name} cross-session batching disengaged: "
+                     f"{wpf:.2f} windows per forward (gate >= {floor:.1f} "
+                     f"at batch {batch})")
 
         warn_absolute(name, base, cur, ("dps",), tolerance)
         if cur["p99_ms"] > base["p99_ms"] * (1.0 + tolerance):

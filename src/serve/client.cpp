@@ -1,0 +1,260 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rlsched::serve {
+
+using core::Status;
+using core::StatusCode;
+using core::StatusOr;
+
+namespace {
+
+Status lost(const char* what) {
+  return Status(StatusCode::kUnavailable,
+                std::string("connection lost (") + what + ")");
+}
+
+Status protocol(const char* what) {
+  return Status(StatusCode::kInternal,
+                std::string("protocol violation from server: ") + what);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Status Client::connect(const std::string& host, std::uint16_t port) {
+  if (fd_ >= 0) {
+    return Status(StatusCode::kFailedPrecondition, "already connected");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(StatusCode::kInvalidArgument,
+                  "unparseable server host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int e = errno;
+    ::close(fd);
+    return Status(StatusCode::kUnavailable,
+                  std::string("connect: ") + std::strerror(e));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::Ok();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::send_all(const std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) return lost("not connected");
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return lost("send");
+  }
+  return Status::Ok();
+}
+
+Status Client::send_raw(const std::uint8_t* data, std::size_t len) {
+  std::lock_guard<std::mutex> l(send_mu_);
+  return send_all(data, len);
+}
+
+Status Client::recv_frame(wire::Header* header,
+                          std::vector<std::uint8_t>* payload) {
+  if (fd_ < 0) return lost("not connected");
+  std::uint8_t hdr[wire::kHeaderBytes];
+  std::size_t off = 0;
+  while (off < sizeof(hdr)) {
+    const ssize_t n = ::recv(fd_, hdr + off, sizeof(hdr) - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return lost("recv header");
+  }
+  if (Status s = wire::decode_header(hdr, header); !s.ok()) return s;
+  payload->resize(header->payload_len);
+  off = 0;
+  while (off < payload->size()) {
+    const ssize_t n =
+        ::recv(fd_, payload->data() + off, payload->size() - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return lost("recv payload");
+  }
+  return Status::Ok();
+}
+
+StatusOr<SessionId> Client::create_session(const SessionConfig& cfg) {
+  std::vector<std::uint8_t> f;
+  const std::uint64_t tag = next_tag_++;
+  wire::encode_create_session(f, tag, cfg);
+  if (Status s = send_raw(f.data(), f.size()); !s.ok()) return s;
+  wire::Header h;
+  std::vector<std::uint8_t> p;
+  if (Status s = recv_frame(&h, &p); !s.ok()) return s;
+  if (h.type != wire::MsgType::kSessionReply || h.tag != tag) {
+    return protocol("expected kSessionReply");
+  }
+  wire::Reader r(p.data(), p.size());
+  Status st;
+  SessionId id;
+  if (Status s = wire::decode_session_reply(r, &st, &id); !s.ok()) return s;
+  if (!st.ok()) return st;
+  return id;
+}
+
+Status Client::destroy_session(SessionId id) {
+  std::vector<std::uint8_t> f;
+  const std::uint64_t tag = next_tag_++;
+  wire::encode_destroy_session(f, tag, id);
+  if (Status s = send_raw(f.data(), f.size()); !s.ok()) return s;
+  wire::Header h;
+  std::vector<std::uint8_t> p;
+  if (Status s = recv_frame(&h, &p); !s.ok()) return s;
+  if (h.type != wire::MsgType::kStatusReply || h.tag != tag) {
+    return protocol("expected kStatusReply");
+  }
+  wire::Reader r(p.data(), p.size());
+  Status st;
+  if (Status s = wire::decode_status_reply(r, &st); !s.ok()) return s;
+  return st;
+}
+
+StatusOr<RequestId> Client::submit(SessionId id,
+                                   const core::ScheduleRequest& request) {
+  std::vector<std::uint8_t> f;
+  const std::uint64_t tag = next_tag_++;
+  if (Status s = wire::encode_submit(f, wire::MsgType::kSubmit, tag, id,
+                                     request);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = send_raw(f.data(), f.size()); !s.ok()) return s;
+  wire::Header h;
+  std::vector<std::uint8_t> p;
+  if (Status s = recv_frame(&h, &p); !s.ok()) return s;
+  if (h.type != wire::MsgType::kSubmitReply || h.tag != tag) {
+    return protocol("expected kSubmitReply");
+  }
+  wire::Reader r(p.data(), p.size());
+  Status st;
+  std::uint64_t rid = 0;
+  if (Status s = wire::decode_submit_reply(r, &st, &rid); !s.ok()) return s;
+  if (!st.ok()) return st;
+  return RequestId{rid};
+}
+
+Status Client::try_take(RequestId id, Completion* out) {
+  std::vector<std::uint8_t> f;
+  const std::uint64_t tag = next_tag_++;
+  wire::encode_take(f, wire::MsgType::kTryTake, tag, id.value);
+  if (Status s = send_raw(f.data(), f.size()); !s.ok()) return s;
+  std::uint64_t rtag = 0;
+  Status st = recv_completion(&rtag, out);
+  if (st.ok() && rtag != tag) return protocol("mismatched reply tag");
+  return st;
+}
+
+Status Client::wait(RequestId id, Completion* out) {
+  std::vector<std::uint8_t> f;
+  const std::uint64_t tag = next_tag_++;
+  wire::encode_take(f, wire::MsgType::kWait, tag, id.value);
+  if (Status s = send_raw(f.data(), f.size()); !s.ok()) return s;
+  std::uint64_t rtag = 0;
+  Status st = recv_completion(&rtag, out);
+  if (st.ok() && rtag != tag) return protocol("mismatched reply tag");
+  return st;
+}
+
+Status Client::schedule(SessionId id, const core::ScheduleRequest& request,
+                        core::ScheduleResult* out) {
+  const std::uint64_t tag = next_tag_++;
+  if (Status s = send_schedule(id, request, tag); !s.ok()) return s;
+  std::uint64_t rtag = 0;
+  Completion c;
+  if (Status s = recv_completion(&rtag, &c); !s.ok()) return s;
+  if (rtag != tag) return protocol("mismatched reply tag");
+  if (!c.status.ok()) return c.status;
+  *out = std::move(c.result);
+  return Status::Ok();
+}
+
+Status Client::send_schedule(SessionId id,
+                             const core::ScheduleRequest& request,
+                             std::uint64_t tag) {
+  std::vector<std::uint8_t> f;
+  if (Status s = wire::encode_submit(f, wire::MsgType::kSchedule, tag, id,
+                                     request);
+      !s.ok()) {
+    return s;
+  }
+  return send_raw(f.data(), f.size());
+}
+
+Status Client::recv_completion(std::uint64_t* tag, Completion* out) {
+  wire::Header h;
+  std::vector<std::uint8_t> p;
+  if (Status s = recv_frame(&h, &p); !s.ok()) return s;
+  if (h.type != wire::MsgType::kCompletionReply) {
+    return protocol("expected kCompletionReply");
+  }
+  *tag = h.tag;
+  wire::Reader r(p.data(), p.size());
+  Status st;
+  if (Status s = wire::decode_completion_reply(r, &st, out); !s.ok()) {
+    return s;
+  }
+  return st;  // outer op status; completion payload only present when OK
+}
+
+Status Client::recv_reply(wire::Header* header, Status* status) {
+  std::vector<std::uint8_t> p;
+  if (Status s = recv_frame(header, &p); !s.ok()) return s;
+  wire::Reader r(p.data(), p.size());
+  std::int32_t code;
+  std::uint32_t len;
+  if (!r.i32(&code) || !r.u32(&len)) return protocol("truncated status");
+  const std::uint8_t* msg;
+  if (!r.bytes(len, &msg)) return protocol("truncated status message");
+  if (code < 0 || code > static_cast<std::int32_t>(StatusCode::kInternal)) {
+    return protocol("unknown status code");
+  }
+  *status = Status(static_cast<StatusCode>(code),
+                   std::string(reinterpret_cast<const char*>(msg), len));
+  return Status::Ok();
+}
+
+}  // namespace rlsched::serve

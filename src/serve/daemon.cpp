@@ -19,15 +19,29 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+/// Retry bound for schedule()'s submit-and-wait loop. Each retry requires
+/// losing a race against a dispatcher lifecycle transition (start(),
+/// stop(), or a concurrent drain()), so normal operation never takes more
+/// than one; the bound exists so adversarial lifecycle churn resolves to a
+/// terminal Status instead of a busy spin.
+constexpr int kScheduleAttempts = 8;
 }  // namespace
 
 Daemon::Daemon(DaemonConfig cfg)
     : batch_(cfg.runtime.resolved().batch), max_sessions_(cfg.max_sessions) {
-  obs_.resize(batch_);
-  obs_ptr_.resize(batch_);
-  logits_.resize(batch_ * rl::kMaxObservable);
-  actions_.resize(batch_);
-  lane_.resize(batch_);
+  const std::size_t n = cfg.dispatchers == 0 ? 1 : cfg.dispatchers;
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = s;
+    shard->obs.resize(batch_);
+    shard->obs_ptr.resize(batch_);
+    shard->logits.resize(batch_ * rl::kMaxObservable);
+    shard->actions.resize(batch_);
+    shard->lane.resize(batch_);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 Daemon::~Daemon() { stop(); }
@@ -38,6 +52,12 @@ std::uint32_t Daemon::register_policy(const rl::Policy& policy) {
   policy.reserve_batch(batch_);
   policies_.push_back(&policy);
   return static_cast<std::uint32_t>(policies_.size() - 1);
+}
+
+void Daemon::set_completion_hook(CompletionHook hook, void* ctx) {
+  std::lock_guard<std::mutex> l(mu_);
+  completion_hook_ = hook;
+  completion_hook_ctx_ = ctx;
 }
 
 StatusOr<SessionId> Daemon::create_session(const SessionConfig& cfg) {
@@ -67,17 +87,9 @@ StatusOr<SessionId> Daemon::create_session(const SessionConfig& cfg) {
   slot.active = false;
   slot.ready = false;
   slot.cfg = cfg;
-  if (!slot.env) {
-    if (!env_pool_.empty()) {
-      // Pooled env: reconfigure-at-admit + reset give bitwise the same
-      // episodes as a freshly constructed env (test_serve_daemon gates
-      // this) — only the reserved capacity survives reuse.
-      slot.env = std::move(env_pool_.back());
-      env_pool_.pop_back();
-    } else {
-      slot.env = std::make_unique<sim::SchedulingEnv>(cfg.processors);
-    }
-  }
+  // No env yet: it attaches at admit and returns to the pool when the
+  // session idles, so a table of 100k mostly-idle sessions costs slots,
+  // not simulators.
   ++stats_.sessions_created;
   ++stats_.live_sessions;
   return SessionId{index, slot.gen};
@@ -89,15 +101,16 @@ Status Daemon::destroy_session(SessionId id) {
   if (slot == nullptr) {
     return Status(StatusCode::kNotFound, "unknown or stale session");
   }
+  Shard& shard = *shards_[shard_of(slot->cfg.policy)];
   for (PendingRequest& r : slot->queue) {
     complete_locked(r.id, r.submitted,
                     Status(StatusCode::kCancelled, "session destroyed"),
                     ScheduleResult{});
-    --queued_requests_;
+    --shard.queued;
   }
   slot->queue.clear();
   if (slot->active) {
-    // The dispatcher owns the in-flight episode; it delivers the result
+    // The owning shard has the episode in flight; it delivers the result
     // and releases the slot when the request finishes.
     slot->closing = true;
     return Status::Ok();
@@ -131,13 +144,14 @@ StatusOr<RequestId> Daemon::submit(SessionId id,
   const RequestId rid{pr.id};
   inflight_.insert(pr.id);
   slot->queue.push_back(std::move(pr));
-  ++queued_requests_;
+  Shard& shard = *shards_[shard_of(slot->cfg.policy)];
+  ++shard.queued;
   ++stats_.requests_submitted;
   if (!slot->active && !slot->ready) {
     slot->ready = true;
-    ready_.push_back(slot->index);
+    shard.ready.push_back(slot->index);
   }
-  work_cv_.notify_one();
+  shard.work_cv.notify_one();
   return rid;
 }
 
@@ -167,7 +181,7 @@ Status Daemon::wait(RequestId id, Completion* out) {
     if (inflight_.count(id.value) == 0) {
       return Status(StatusCode::kNotFound, "unknown request id");
     }
-    if (!started_) {
+    if (!started_ && active_drainers_ == 0) {
       // Nothing will ever complete this request — refuse to hang.
       return Status(StatusCode::kFailedPrecondition,
                     "no dispatcher running; start() or drain() first");
@@ -181,31 +195,31 @@ Status Daemon::schedule(SessionId id, const ScheduleRequest& request,
   StatusOr<RequestId> rid = submit(id, request);
   if (!rid.ok()) return rid.status();
   Completion c;
-  for (;;) {
-    bool background;
-    {
-      std::lock_guard<std::mutex> l(mu_);
-      background = started_;
-    }
-    if (background) {
-      Status s = wait(rid.value(), &c);
-      if (s.code() == StatusCode::kFailedPrecondition) continue;  // stop()ed
-      if (!s.ok()) return s;
-      break;
-    }
+  Status s(StatusCode::kUnavailable, "");
+  for (int attempt = 0; attempt < kScheduleAttempts; ++attempt) {
+    // wait() blocks whenever a background dispatcher OR a concurrent
+    // drain()er can complete the request; kFailedPrecondition means
+    // nobody can, so this thread serves the queue itself.
+    s = wait(rid.value(), &c);
+    if (s.code() != StatusCode::kFailedPrecondition) break;
     if (StatusOr<std::size_t> d = drain(); !d.ok()) {
-      // A dispatcher started between the check and the drain; retry.
-      continue;
+      continue;  // a background dispatcher start()ed mid-race; re-wait
     }
-    Status s = try_take(rid.value(), &c);
-    if (s.code() == StatusCode::kUnavailable) {
-      // A concurrent drainer admitted our request; let it finish.
-      std::this_thread::yield();
-      continue;
-    }
-    if (!s.ok()) return s;
-    break;
+    s = try_take(rid.value(), &c);
+    if (s.code() != StatusCode::kUnavailable) break;
+    // A concurrent drainer admitted the request between our wait() and
+    // drain(); the next wait() blocks on that drainer instead of spinning.
   }
+  if (s.code() == StatusCode::kFailedPrecondition ||
+      s.code() == StatusCode::kUnavailable) {
+    // Terminal: every retry lost a lifecycle race. The request stays
+    // submitted — the caller can poll try_take()/wait() once a dispatcher
+    // settles.
+    return Status(StatusCode::kUnavailable,
+                  "dispatcher lifecycle raced submit-and-wait; result "
+                  "still pending — poll try_take()/wait()");
+  }
+  if (!s.ok()) return s;
   if (!c.status.ok()) return c.status;
   *out = std::move(c.result);
   return Status::Ok();
@@ -218,9 +232,24 @@ StatusOr<std::size_t> Daemon::drain() {
       return Status(StatusCode::kFailedPrecondition,
                     "background dispatcher owns execution; stop() first");
     }
+    // While this drain runs, wait()ers may block on it instead of
+    // refusing: it will complete anything admissible.
+    ++active_drainers_;
   }
-  std::lock_guard<std::mutex> dl(dispatch_mu_);
-  return run_until_idle();
+  std::size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> dl(shard->dispatch_mu);
+    total += run_until_idle(*shard);
+  }
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    --active_drainers_;
+  }
+  // Waiters blocked on this drain must re-check (their request may have
+  // been served — or not, if it raced admission; they then drain
+  // themselves).
+  done_cv_.notify_all();
+  return total;
 }
 
 void Daemon::start() {
@@ -228,7 +257,10 @@ void Daemon::start() {
   if (started_) return;
   started_ = true;
   stop_ = false;
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s] { dispatcher_loop(*s); });
+  }
 }
 
 void Daemon::stop() {
@@ -236,9 +268,9 @@ void Daemon::stop() {
     std::lock_guard<std::mutex> l(mu_);
     if (!started_) return;
     stop_ = true;
-    work_cv_.notify_all();
+    for (auto& shard : shards_) shard->work_cv.notify_all();
   }
-  dispatcher_.join();
+  for (auto& shard : shards_) shard->thread.join();
   {
     std::lock_guard<std::mutex> l(mu_);
     started_ = false;
@@ -264,68 +296,86 @@ DaemonStats Daemon::stats() const {
   return out;
 }
 
-void Daemon::dispatcher_loop() {
+void Daemon::dispatcher_loop(Shard& shard) {
   for (;;) {
     {
       std::unique_lock<std::mutex> l(mu_);
-      work_cv_.wait(l, [this] { return stop_ || queued_requests_ > 0; });
+      shard.work_cv.wait(l, [&] { return stop_ || shard.queued > 0; });
       if (stop_) return;
     }
-    std::lock_guard<std::mutex> dl(dispatch_mu_);
-    run_until_idle();
+    std::lock_guard<std::mutex> dl(shard.dispatch_mu);
+    run_until_idle(shard);
   }
 }
 
-std::size_t Daemon::run_until_idle() {
-  run_completed_ = 0;
+std::size_t Daemon::run_until_idle(Shard& shard) {
+  shard.run_completed = 0;
   for (;;) {
-    admit_ready_sessions();
-    if (!any_active()) break;
-    step_active_once();
+    admit_ready_sessions(shard);
+    if (!any_active(shard)) break;
+    step_active_once(shard);
   }
-  return run_completed_;
+  return shard.run_completed;
 }
 
-bool Daemon::any_active() const {
-  for (const auto& bucket : active_by_policy_) {
+bool Daemon::any_active(const Shard& shard) {
+  for (const auto& bucket : shard.active_by_policy) {
     if (!bucket.empty()) return true;
   }
   return false;
 }
 
-void Daemon::admit_ready_sessions() {
-  admit_scratch_.clear();
+void Daemon::admit_ready_sessions(Shard& shard) {
+  shard.admit_scratch.clear();
   {
     std::lock_guard<std::mutex> l(mu_);
-    if (active_by_policy_.size() < policies_.size()) {
-      active_by_policy_.resize(policies_.size());
+    if (shard.active_by_policy.size() < policies_.size()) {
+      shard.active_by_policy.resize(policies_.size());
     }
-    while (!ready_.empty()) {
-      Slot* slot = slots_[ready_.front()].get();
-      ready_.pop_front();
+    while (!shard.ready.empty()) {
+      Slot* slot = slots_[shard.ready.front()].get();
+      shard.ready.pop_front();
       slot->ready = false;
       if (!slot->live || slot->closing || slot->active ||
           slot->queue.empty()) {
         continue;
       }
+      // A recycled slot can leave a stale index in its OLD policy's shard
+      // deque; admitting it here would drive the new tenant's policy from
+      // the wrong thread. Its genuine entry lives in the right deque.
+      if (shard_of(slot->cfg.policy) != shard.id) continue;
       slot->current = std::move(slot->queue.front());
       slot->queue.pop_front();
-      --queued_requests_;
+      --shard.queued;
       slot->seq_index = 0;
       slot->partial.runs.clear();
       slot->policy = policies_[slot->cfg.policy];
+      if (!slot->env) {
+        // Lazy attach: envs live only on ACTIVE sessions; the pool bounds
+        // the fleet by concurrent activity, not table size.
+        if (!env_pool_.empty()) {
+          // Pooled env: reconfigure-at-activate + reset give bitwise the
+          // same episodes as a freshly constructed env (test_serve_daemon
+          // gates this) — only reserved capacity survives reuse.
+          slot->env = std::move(env_pool_.back());
+          env_pool_.pop_back();
+        } else {
+          slot->env = std::make_unique<sim::SchedulingEnv>(
+              slot->cfg.processors);
+        }
+      }
       slot->active = true;
-      admit_scratch_.push_back(slot);
+      shard.admit_scratch.push_back(slot);
     }
   }
-  for (Slot* slot : admit_scratch_) {
-    if (activate(*slot)) {
-      active_by_policy_[slot->cfg.policy].push_back(slot);
+  for (Slot* slot : shard.admit_scratch) {
+    if (activate(shard, *slot)) {
+      shard.active_by_policy[slot->cfg.policy].push_back(slot);
     }
   }
 }
 
-bool Daemon::activate(Slot& slot) {
+bool Daemon::activate(Shard& shard, Slot& slot) {
   const std::size_t total =
       slot.current.stream != nullptr ? 1 : slot.current.seqs.size();
   while (slot.seq_index < total) {
@@ -339,7 +389,8 @@ bool Daemon::activate(Slot& slot) {
         slot.env->reset(slot.current.seqs[slot.seq_index]);
       }
     } catch (const std::exception& e) {
-      finish_request(slot, Status(StatusCode::kInvalidArgument, e.what()));
+      finish_request(shard, slot,
+                     Status(StatusCode::kInvalidArgument, e.what()));
       return false;
     }
     episodes_.fetch_add(1, std::memory_order_relaxed);
@@ -348,37 +399,37 @@ bool Daemon::activate(Slot& slot) {
     slot.partial.runs.push_back(slot.env->result());
     ++slot.seq_index;
   }
-  finish_request(slot, Status::Ok());
+  finish_request(shard, slot, Status::Ok());
   return false;
 }
 
-void Daemon::step_active_once() {
+void Daemon::step_active_once(Shard& shard) {
   std::uint64_t stepped = 0;
-  for (auto& bucket : active_by_policy_) {
+  for (auto& bucket : shard.active_by_policy) {
     if (bucket.empty()) continue;
     const rl::Policy& policy = *bucket.front()->policy;
     std::size_t write = 0;
     for (std::size_t g = 0; g < bucket.size(); g += batch_) {
       const std::size_t n = std::min(batch_, bucket.size() - g);
       for (std::size_t w = 0; w < n; ++w) {
-        lane_[w] = bucket[g + w];
-        builder_.build_into(*lane_[w]->env, obs_[w]);
-        obs_ptr_[w] = &obs_[w];
+        shard.lane[w] = bucket[g + w];
+        shard.builder.build_into(*shard.lane[w]->env, shard.obs[w]);
+        shard.obs_ptr[w] = &shard.obs[w];
       }
-      rl::batched_argmax(policy, obs_ptr_.data(), n, logits_.data(),
-                         actions_.data());
+      rl::batched_argmax(policy, shard.obs_ptr.data(), n,
+                         shard.logits.data(), shard.actions.data());
       forwards_.fetch_add(1, std::memory_order_relaxed);
       forward_windows_.fetch_add(n, std::memory_order_relaxed);
       for (std::size_t w = 0; w < n; ++w) {
-        Slot* slot = lane_[w];
+        Slot* slot = shard.lane[w];
         bool done;
         try {
-          slot->env->step(actions_[w]);
+          slot->env->step(shard.actions[w]);
           done = slot->env->done();
         } catch (const std::exception& e) {
           // Streamed refill rejected mid-episode (e.g. out-of-order
           // submits): the request fails, the env resets on next use.
-          finish_request(*slot,
+          finish_request(shard, *slot,
                          Status(StatusCode::kInvalidArgument, e.what()));
           continue;
         }
@@ -389,7 +440,7 @@ void Daemon::step_active_once() {
         }
         slot->partial.runs.push_back(slot->env->result());
         ++slot->seq_index;
-        if (activate(*slot)) bucket[write++] = slot;
+        if (activate(shard, *slot)) bucket[write++] = slot;
       }
     }
     bucket.resize(write);
@@ -397,7 +448,7 @@ void Daemon::step_active_once() {
   decisions_.fetch_add(stepped, std::memory_order_relaxed);
 }
 
-void Daemon::finish_request(Slot& slot, Status status) {
+void Daemon::finish_request(Shard& shard, Slot& slot, Status status) {
   std::lock_guard<std::mutex> l(mu_);
   complete_locked(slot.current.id, slot.current.submitted, std::move(status),
                   std::move(slot.partial));
@@ -405,19 +456,24 @@ void Daemon::finish_request(Slot& slot, Status status) {
   slot.current = PendingRequest{};  // drop the owned job copies now
   slot.active = false;
   slot.policy = nullptr;
-  ++run_completed_;
+  ++shard.run_completed;
   if (slot.closing) {
     release_slot_locked(slot);
     return;
   }
-  if (!slot.queue.empty() && !slot.ready) {
-    slot.ready = true;
-    ready_.push_back(slot.index);
+  if (!slot.queue.empty()) {
+    if (!slot.ready) {
+      slot.ready = true;
+      shard.ready.push_back(slot.index);
+    }
+  } else if (slot.env) {
+    // Session idles: detach its env so the table scales past the pool.
+    env_pool_.push_back(std::move(slot.env));
   }
 }
 
 void Daemon::release_slot_locked(Slot& slot) {
-  env_pool_.push_back(std::move(slot.env));
+  if (slot.env) env_pool_.push_back(std::move(slot.env));
   slot.live = false;
   slot.closing = false;
   slot.active = false;
@@ -446,6 +502,8 @@ void Daemon::complete_locked(std::uint64_t id,
     if (!ok) ++stats_.requests_failed;
   }
   done_cv_.notify_all();
+  // Last, with mu_ held: the hook must only queue-and-wake (see header).
+  if (completion_hook_ != nullptr) completion_hook_(completion_hook_ctx_, id);
 }
 
 Daemon::Slot* Daemon::resolve_locked(SessionId id) {

@@ -127,4 +127,31 @@ std::size_t env_batch(const char* name, std::size_t fallback) {
                         "above max batch windows, clamping");
 }
 
+bool parse_count(const std::string& text, std::size_t* out,
+                 std::size_t max_value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  if (parsed <= 0) return false;
+  if (max_value > 0 && static_cast<unsigned long>(parsed) > max_value) {
+    return false;
+  }
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+bool parse_double(const std::string& text, double* out, double min_value,
+                  double max_value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  if (!(parsed >= min_value && parsed <= max_value)) return false;  // NaN too
+  *out = parsed;
+  return true;
+}
+
 }  // namespace rlsched::util

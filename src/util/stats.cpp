@@ -17,6 +17,16 @@ double quantile(const std::vector<double>& sorted, double q) {
 }
 }  // namespace
 
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  const double n = static_cast<double>(sorted.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p * n));
+  if (rank == 0) rank = 1;  // ceil can round a subnormal p·n down to 0
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
 Summary summarize(const std::vector<double>& values) {
   Summary s;
   if (values.empty()) return s;

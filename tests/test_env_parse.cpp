@@ -156,6 +156,47 @@ int main() {
   unsetenv("RLSCHED_WORKERS");
   unsetenv("RLSCHED_BATCH");
 
+  // Strict CLI/config parsers: unlike the env knobs, these FAIL on bad
+  // input (return false, leave *out untouched) — an explicitly passed
+  // flag must never be silently replaced by a default.
+  using rlsched::util::parse_count;
+  using rlsched::util::parse_double;
+  {
+    std::size_t n = 999;
+    CHECK(parse_count("1", &n) && n == 1);
+    CHECK(parse_count("100000", &n) && n == 100000);
+    n = 999;
+    CHECK(!parse_count("0", &n));      // zero count rejected
+    CHECK(!parse_count("-5", &n));     // negative rejected
+    CHECK(!parse_count("", &n));       // empty rejected
+    CHECK(!parse_count("1O", &n));     // trailing garbage rejected
+    CHECK(!parse_count("10k", &n));
+    CHECK(!parse_count("abc", &n));
+    CHECK(!parse_count("3.5", &n));    // not an integer
+    CHECK(!parse_count(" 7 ", &n));    // embedded whitespace after digits
+    CHECK(!parse_count("99999999999999999999", &n));  // out of range
+    CHECK(n == 999);                   // failures never wrote through
+    CHECK(parse_count("8", &n, 16) && n == 8);
+    CHECK(!parse_count("17", &n, 16));  // ceiling REJECTS, never clamps
+  }
+  {
+    double d = -1.0;
+    CHECK(parse_double("2.5", &d) && d == 2.5);
+    CHECK(parse_double("-0.75", &d) && d == -0.75);
+    CHECK(parse_double("1e3", &d) && d == 1000.0);
+    d = -1.0;
+    CHECK(!parse_double("", &d));
+    CHECK(!parse_double("x", &d));
+    CHECK(!parse_double("2.5x", &d));
+    CHECK(!parse_double("nan", &d));         // NaN fails the range check
+    CHECK(!parse_double("inf", &d));         // outside any finite range
+    CHECK(!parse_double("1e400", &d));       // overflow
+    CHECK(d == -1.0);
+    CHECK(parse_double("0.5", &d, 0.0, 1.0) && d == 0.5);
+    CHECK(!parse_double("1.5", &d, 0.0, 1.0));  // above max fails
+    CHECK(!parse_double("-0.1", &d, 0.0, 1.0));
+  }
+
   std::puts("env parsing: OK");
   return 0;
 }

@@ -352,6 +352,141 @@ int main() {
     CHECK(sim::bitwise_equal(c.result.run(), expect[1]));
   }
 
+  // --- 5. per-policy dispatcher sharding is bitwise invisible ------------
+  {
+    // Each policy id gets its OWN (identically seeded, hence identically
+    // weighted) Policy object: with dispatchers > 1 the ids map to
+    // different shard threads, and sharing one object across shards would
+    // race on its forward scratch — exactly what the daemon header bans.
+    constexpr std::size_t kPolicies = 3;
+    const std::size_t shard_sweep[2] = {1, 3};
+    std::vector<sim::RunResult> at_shards[2];
+    for (int v = 0; v < 2; ++v) {
+      DaemonConfig cfg = daemon_config(8);
+      cfg.dispatchers = shard_sweep[v];
+      Daemon daemon(cfg);
+      CHECK(daemon.dispatchers() == shard_sweep[v]);
+      std::vector<std::unique_ptr<rl::Policy>> pols;
+      std::vector<std::uint32_t> pids;
+      for (std::size_t p = 0; p < kPolicies; ++p) {
+        util::Rng prng(99);  // the same seed as `policy` above
+        pols.push_back(rl::make_policy(rl::PolicyKind::Kernel,
+                                       rl::kMaxObservable, prng));
+        pids.push_back(daemon.register_policy(*pols.back()));
+      }
+      daemon.start();
+      std::vector<SessionId> sessions;
+      std::vector<RequestId> requests;
+      for (std::size_t i = 0; i < kSessions; ++i) {
+        SessionConfig sc;
+        sc.processors = procs;
+        sc.policy = pids[i % kPolicies];  // spread sessions across shards
+        auto sid = daemon.create_session(sc);
+        CHECK(sid.ok());
+        sessions.push_back(sid.value());
+        ScheduleRequest req;
+        req.jobs = &seqs[i];
+        req.backfill = true;
+        auto rid = daemon.submit(sessions[i], req);
+        CHECK(rid.ok());
+        requests.push_back(rid.value());
+      }
+      for (std::size_t i = 0; i < kSessions; ++i) {
+        Completion c;
+        CHECK(daemon.wait(requests[i], &c).ok());
+        CHECK(c.status.ok());
+        at_shards[v].push_back(c.result.run());
+      }
+      daemon.stop();
+    }
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      // Sharded == single-dispatcher == the engine's unbatched reference:
+      // episodes depend only on their own env and policy weights, so the
+      // shard layout must be bitwise invisible.
+      CHECK(sim::bitwise_equal(at_shards[0][i], at_shards[1][i]));
+      CHECK(sim::bitwise_equal(at_shards[1][i], expect[i]));
+    }
+  }
+
+  // --- 6. schedule() vs start()/stop()/drain() lifecycle churn -----------
+  {
+    // Regression for the submit-and-wait retry loop: under adversarial
+    // start()/stop() cycling plus a competing drain()er, every schedule()
+    // call must RESOLVE — OK with the bitwise-correct result, or the
+    // documented terminal kUnavailable (bounded retries, request still
+    // pollable) — never busy-spin or hang. CI runs this under TSan.
+    Daemon daemon(daemon_config(4));
+    const std::uint32_t pid = daemon.register_policy(*policy);
+    std::atomic<bool> done{false};
+    std::atomic<int> failures{0};
+    std::atomic<std::uint64_t> resolved_ok{0};
+    std::atomic<std::uint64_t> resolved_terminal{0};
+
+    std::thread lifecycle([&] {
+      while (!done.load()) {
+        daemon.start();
+        std::this_thread::yield();
+        daemon.stop();
+      }
+    });
+    std::thread drainer([&] {
+      while (!done.load()) {
+        (void)daemon.drain();  // kFailedPrecondition while started: fine
+        std::this_thread::yield();
+      }
+    });
+
+    constexpr std::size_t kClients = 3;
+    constexpr std::size_t kRounds = 12;
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        SessionConfig sc;
+        sc.processors = procs;
+        sc.policy = pid;
+        auto sid = daemon.create_session(sc);
+        if (!sid.ok()) {
+          ++failures;
+          return;
+        }
+        ScheduleRequest req;
+        req.jobs = &seqs[t];
+        req.backfill = true;
+        for (std::size_t round = 0; round < kRounds; ++round) {
+          ScheduleResult out;
+          const Status s = daemon.schedule(sid.value(), req, &out);
+          if (s.ok()) {
+            if (!sim::bitwise_equal(out.run(), expect[t])) {
+              ++failures;
+              return;
+            }
+            ++resolved_ok;
+          } else if (s.code() == StatusCode::kUnavailable) {
+            ++resolved_terminal;  // lost every lifecycle race; legal
+          } else {
+            ++failures;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    done.store(true);
+    lifecycle.join();
+    drainer.join();
+    daemon.stop();
+    CHECK(failures.load() == 0);
+    CHECK(resolved_ok.load() + resolved_terminal.load() ==
+          kClients * kRounds);
+    // Terminal kUnavailable left its request submitted: a final drain on
+    // the now-quiet daemon serves every leftover, so nothing is lost.
+    CHECK(daemon.drain().ok());
+    const auto stats = daemon.stats();
+    CHECK(stats.requests_submitted ==
+          stats.requests_completed + stats.requests_cancelled);
+    CHECK(stats.requests_failed == 0);
+  }
+
   std::puts("serve daemon: OK");
   return 0;
 }

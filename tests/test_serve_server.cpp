@@ -1,0 +1,383 @@
+// serve::Server against live loopback sockets:
+//   1. Transport invariance — every schedule/submit+wait/pipelined result
+//      through the socket is BITWISE identical to the same request served
+//      by an in-process Daemon (and to the engine's BatchedEvaluator
+//      reference): the wire adds framing, never computation.
+//   2. Malformed-frame matrix — bad version, nonzero reserved, unknown
+//      type, oversized declared length, truncated payloads, trailing
+//      garbage, hostile counts, reply types sent to the server, mid-frame
+//      disconnects: each earns a kInvalidArgument reply (where a reply is
+//      possible) and a close, and the server keeps serving everyone else.
+//   3. Lifecycle — a dropped connection's sessions are destroyed; errors
+//      (unknown ids, stale handles, invalid configs) cross the wire with
+//      their core::Status code and message intact.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "rl/batch_eval.hpp"
+#include "rl/policy.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "sim/env.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+using namespace rlsched;
+using core::ScheduleRequest;
+using core::ScheduleResult;
+using core::Status;
+using core::StatusCode;
+using serve::Client;
+using serve::Completion;
+using serve::Daemon;
+using serve::DaemonConfig;
+using serve::RequestId;
+using serve::Server;
+using serve::ServerConfig;
+using serve::SessionConfig;
+using serve::SessionId;
+namespace wire = serve::wire;
+
+DaemonConfig daemon_config(std::size_t batch, std::size_t dispatchers) {
+  DaemonConfig cfg;
+  cfg.runtime.workers = 1;
+  cfg.runtime.batch = batch;
+  cfg.dispatchers = dispatchers;
+  return cfg;
+}
+
+/// Open a fresh connection, fire one raw byte blob, and expect the server
+/// to answer kInvalidArgument (a StatusReply) and then hang up.
+void expect_rejected(std::uint16_t port, const std::vector<std::uint8_t>& raw,
+                     const char* what) {
+  Client c;
+  CHECK(c.connect("127.0.0.1", port).ok());
+  CHECK(c.send_raw(raw.data(), raw.size()).ok());
+  wire::Header h;
+  Status st;
+  CHECK(c.recv_reply(&h, &st).ok());
+  CHECK(h.type == wire::MsgType::kStatusReply);
+  if (st.code() != StatusCode::kInvalidArgument) {
+    std::fprintf(stderr, "case %s: got code %d (%s)\n", what,
+                 static_cast<int>(st.code()), st.message().c_str());
+    CHECK(false);
+  }
+  // The connection is closed behind the reply: the next read hits EOF.
+  const Status eof = c.recv_reply(&h, &st);
+  CHECK(!eof.ok());
+}
+
+bool wait_for_live_sessions(const Daemon& daemon, std::size_t want) {
+  for (int i = 0; i < 2000; ++i) {  // close processing is asynchronous
+    if (daemon.live_sessions() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+}  // namespace
+
+int main() {
+  const auto trace = workload::make_trace("Lublin-1", 4000, 42);
+  const int procs = trace.processors();
+  util::Rng policy_rng(99);
+  const auto policy =
+      rl::make_policy(rl::PolicyKind::Kernel, rl::kMaxObservable, policy_rng);
+
+  util::Rng rng(5);
+  constexpr std::size_t kRequests = 8;
+  std::vector<std::vector<trace::Job>> seqs;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    seqs.push_back(trace.sample_sequence(rng, 48 + 8 * i));
+  }
+
+  // Engine ground truth, and the in-process daemon path to gate against.
+  std::vector<sim::RunResult> expect(seqs.size());
+  {
+    rl::BatchedEvaluator eval(*policy, 1);
+    eval.evaluate(seqs, procs, true, expect.data());
+  }
+  std::vector<sim::RunResult> inproc;
+  {
+    Daemon local(daemon_config(8, 1));
+    const std::uint32_t pid = local.register_policy(*policy);
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    auto sid = local.create_session(sc);
+    CHECK(sid.ok());
+    std::vector<RequestId> rids;
+    for (auto& s : seqs) {
+      ScheduleRequest req;
+      req.jobs = &s;
+      req.backfill = true;
+      auto rid = local.submit(sid.value(), req);
+      CHECK(rid.ok());
+      rids.push_back(rid.value());
+    }
+    CHECK(local.drain().ok());
+    for (RequestId rid : rids) {
+      Completion comp;
+      CHECK(local.try_take(rid, &comp).ok());
+      CHECK(comp.status.ok());
+      inproc.push_back(comp.result.run());
+    }
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      CHECK(sim::bitwise_equal(inproc[i], expect[i]));
+    }
+  }
+
+  // One daemon + one server for everything below (sharded: 2 dispatchers,
+  // exercising the socket path against the multi-dispatcher backend).
+  Daemon daemon(daemon_config(8, 2));
+  const std::uint32_t pid = daemon.register_policy(*policy);
+  Server server(daemon, ServerConfig{});
+  CHECK(server.status().ok());
+  CHECK(server.port() != 0);
+
+  // --- 1a. blocking schedule(): socket == in-process, bitwise ----------
+  {
+    Client c;
+    CHECK(c.connect("127.0.0.1", server.port()).ok());
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    auto sid = c.create_session(sc);
+    CHECK(sid.ok());
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      ScheduleRequest req;
+      req.jobs = &seqs[i];
+      req.backfill = true;
+      ScheduleResult out;
+      CHECK(c.schedule(sid.value(), req, &out).ok());
+      CHECK(out.runs.size() == 1);
+      CHECK(sim::bitwise_equal(out.run(), inproc[i]));
+    }
+
+    // --- 1b. submit + wait, and the consumed-completion contract -------
+    ScheduleRequest req;
+    req.jobs = &seqs[0];
+    req.backfill = true;
+    auto rid = c.submit(sid.value(), req);
+    CHECK(rid.ok());
+    Completion comp;
+    CHECK(c.wait(rid.value(), &comp).ok());
+    CHECK(comp.status.ok());
+    CHECK(comp.latency_seconds >= 0.0);
+    CHECK(sim::bitwise_equal(comp.result.run(), inproc[0]));
+    // wait() consumed it: a second take is kNotFound, code intact.
+    CHECK(c.try_take(rid.value(), &comp).code() == StatusCode::kNotFound);
+    CHECK(c.wait(rid.value(), &comp).code() == StatusCode::kNotFound);
+
+    // --- 1c. multi-sequence batch over the wire -------------------------
+    std::vector<std::vector<trace::Job>> batch = {seqs[1], seqs[2], seqs[3]};
+    ScheduleRequest breq;
+    breq.sequences = &batch;
+    breq.backfill = true;
+    ScheduleResult bout;
+    CHECK(c.schedule(sid.value(), breq, &bout).ok());
+    CHECK(bout.runs.size() == 3);
+    for (std::size_t k = 0; k < 3; ++k) {
+      CHECK(sim::bitwise_equal(bout.runs[k], inproc[k + 1]));
+    }
+
+    // --- 1d. pipelined send_schedule / recv_completion ------------------
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      ScheduleRequest preq;
+      preq.jobs = &seqs[i];
+      preq.backfill = true;
+      CHECK(c.send_schedule(sid.value(), preq, 1000 + i).ok());
+    }
+    std::vector<bool> seen(seqs.size(), false);
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      std::uint64_t tag = 0;
+      Completion pc;
+      CHECK(c.recv_completion(&tag, &pc).ok());
+      CHECK(tag >= 1000 && tag < 1000 + seqs.size());
+      const std::size_t idx = tag - 1000;
+      CHECK(!seen[idx]);  // no duplicate or cross-delivered completion
+      seen[idx] = true;
+      CHECK(pc.status.ok());
+      CHECK(sim::bitwise_equal(pc.result.run(), inproc[idx]));
+    }
+
+    // --- 1e. errors keep their Status across the wire -------------------
+    // Streams are rejected locally, before any bytes move.
+    ScheduleRequest sreq;
+    auto stream_trace = workload::make_trace("Lublin-1", 16, 7);
+    sreq.stream = &stream_trace;
+    CHECK(c.submit(sid.value(), sreq).status().code() ==
+          StatusCode::kInvalidArgument);
+    // Invalid session config crosses with its code.
+    SessionConfig bad;
+    bad.processors = 0;
+    bad.policy = pid;
+    CHECK(c.create_session(bad).status().code() ==
+          StatusCode::kInvalidArgument);
+    SessionConfig bad_policy;
+    bad_policy.processors = procs;
+    bad_policy.policy = 999;
+    CHECK(c.create_session(bad_policy).status().code() == StatusCode::kNotFound);
+    // Unknown request id / stale session handle.
+    CHECK(c.try_take(RequestId{987654321}, &comp).code() ==
+          StatusCode::kNotFound);
+    CHECK(c.destroy_session(sid.value()).ok());
+    CHECK(c.destroy_session(sid.value()).code() == StatusCode::kNotFound);
+    CHECK(c.submit(sid.value(), req).status().code() == StatusCode::kNotFound);
+    c.close();
+  }
+  CHECK(wait_for_live_sessions(daemon, 0));
+
+  // --- 2. malformed-frame matrix (each on its own connection) -----------
+  {
+    std::vector<std::uint8_t> valid;
+    wire::encode_take(valid, wire::MsgType::kTryTake, 7, 123);
+
+    auto copy = valid;
+    copy[4] = 2;  // future version byte
+    expect_rejected(server.port(), copy, "bad version");
+    copy = valid;
+    copy[6] = 0xFF;  // nonzero reserved
+    expect_rejected(server.port(), copy, "nonzero reserved");
+    copy = valid;
+    copy[5] = 0;  // type 0 never assigned
+    expect_rejected(server.port(), copy, "unknown type");
+    copy = valid;
+    const std::uint32_t huge = wire::kMaxPayloadBytes + 1;
+    std::memcpy(copy.data(), &huge, 4);  // hostile declared length
+    expect_rejected(server.port(), copy, "oversized length");
+
+    // Reply types are not requests; the server refuses to echo them.
+    std::vector<std::uint8_t> reply_frame;
+    wire::encode_status_reply(reply_frame, 9, Status::Ok());
+    expect_rejected(server.port(), reply_frame, "reply type to server");
+
+    // Truncated payload behind a self-consistent header.
+    std::vector<std::uint8_t> short_payload = {1, 2, 3, 4};
+    std::vector<std::uint8_t> frame;
+    wire::append_frame(frame, wire::MsgType::kTryTake, 7,
+                       short_payload.data(), short_payload.size());
+    expect_rejected(server.port(), frame, "truncated take payload");
+
+    // Trailing garbage after a complete payload.
+    frame = valid;
+    frame.push_back(0xAB);
+    std::uint32_t len = 8 + 1;
+    std::memcpy(frame.data(), &len, 4);
+    expect_rejected(server.port(), frame, "trailing garbage");
+
+    // Submit with a hostile job count (4 billion jobs, zero bytes).
+    std::vector<std::uint8_t> p;
+    wire::put_u32(p, 1);
+    wire::put_u32(p, 1);
+    wire::put_u8(p, 0);
+    wire::put_i32(p, 0);
+    wire::put_u8(p, 0);
+    wire::put_u64(p, 4096);
+    wire::put_u32(p, 1);
+    wire::put_u32(p, 0xFFFFFFFF);
+    frame.clear();
+    wire::append_frame(frame, wire::MsgType::kSubmit, 7, p.data(), p.size());
+    expect_rejected(server.port(), frame, "hostile job count");
+
+    // Mid-frame disconnect: half a header, then gone. No reply to read —
+    // the gate is that the server survives (checked right below).
+    {
+      Client c;
+      CHECK(c.connect("127.0.0.1", server.port()).ok());
+      std::uint8_t half[10] = {};
+      std::memcpy(half, valid.data(), sizeof(half));
+      CHECK(c.send_raw(half, sizeof(half)).ok());
+      c.close();
+    }
+    // Ten hostile connections later: a fresh client still gets bitwise
+    // correct service.
+    Client c;
+    CHECK(c.connect("127.0.0.1", server.port()).ok());
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    auto sid = c.create_session(sc);
+    CHECK(sid.ok());
+    ScheduleRequest req;
+    req.jobs = &seqs[4];
+    req.backfill = true;
+    ScheduleResult out;
+    CHECK(c.schedule(sid.value(), req, &out).ok());
+    CHECK(sim::bitwise_equal(out.run(), inproc[4]));
+    c.close();
+  }
+  CHECK(wait_for_live_sessions(daemon, 0));
+
+  // --- 3a. a dropped connection's sessions are destroyed ----------------
+  {
+    Client c;
+    CHECK(c.connect("127.0.0.1", server.port()).ok());
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    CHECK(c.create_session(sc).ok());
+    CHECK(c.create_session(sc).ok());
+    CHECK(daemon.live_sessions() == 2);
+    c.close();  // no destroy_session: the close must clean up
+    CHECK(wait_for_live_sessions(daemon, 0));
+  }
+
+  // --- 3b. two clients, interleaved, one server --------------------------
+  {
+    Client a, b;
+    CHECK(a.connect("127.0.0.1", server.port()).ok());
+    CHECK(b.connect("127.0.0.1", server.port()).ok());
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    auto sa = a.create_session(sc);
+    auto sb = b.create_session(sc);
+    CHECK(sa.ok() && sb.ok());
+    // A client cannot take a completion belonging to someone else's
+    // request id namespace mixup: ids are global, but a consumed take is
+    // consumed exactly once.
+    ScheduleRequest req;
+    req.jobs = &seqs[5];
+    req.backfill = true;
+    auto rid = a.submit(sa.value(), req);
+    CHECK(rid.ok());
+    Completion comp;
+    CHECK(a.wait(rid.value(), &comp).ok());
+    CHECK(sim::bitwise_equal(comp.result.run(), inproc[5]));
+    CHECK(b.try_take(rid.value(), &comp).code() == StatusCode::kNotFound);
+    ScheduleResult out;
+    CHECK(b.schedule(sb.value(), req, &out).ok());
+    CHECK(sim::bitwise_equal(out.run(), inproc[5]));
+    a.close();
+    b.close();
+  }
+  CHECK(wait_for_live_sessions(daemon, 0));
+
+  // --- 4. clean shutdown: the daemon outlives its server -----------------
+  server.stop();
+  server.stop();  // idempotent
+  {
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    auto sid = daemon.create_session(sc);
+    CHECK(sid.ok());
+    ScheduleRequest req;
+    req.jobs = &seqs[6];
+    req.backfill = true;
+    ScheduleResult out;
+    CHECK(daemon.schedule(sid.value(), req, &out).ok());
+    CHECK(sim::bitwise_equal(out.run(), inproc[6]));
+    daemon.stop();
+  }
+
+  std::puts("serve server: OK");
+  return 0;
+}

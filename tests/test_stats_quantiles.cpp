@@ -30,6 +30,39 @@ int main() {
     CHECK_NEAR(s.skewness, 0.0, 1e-12);  // symmetric
   }
 
+  // ---------- percentile_sorted: nearest rank, fixed vectors ----------
+  {
+    // 10 known samples: p99 must be the MAX (rank ceil(.99*10)=10), not
+    // element 8 — the trunc(p*(n-1)) shortcut this replaces reported the
+    // 90th percentile of exactly this shape.
+    const std::vector<double> ten = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    CHECK_NEAR(util::percentile_sorted(ten, 0.99), 10.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted(ten, 1.00), 10.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted(ten, 0.90), 9.0, 0.0);   // rank 9
+    CHECK_NEAR(util::percentile_sorted(ten, 0.50), 5.0, 0.0);   // rank 5
+    CHECK_NEAR(util::percentile_sorted(ten, 0.05), 1.0, 0.0);   // rank 1
+    CHECK_NEAR(util::percentile_sorted(ten, 0.11), 2.0, 0.0);   // rank 2
+    // The NIST nearest-rank worked example: n=5, p30 -> rank 2, p75 ->
+    // rank 4, p100 -> max.
+    const std::vector<double> five = {15, 20, 35, 40, 50};
+    CHECK_NEAR(util::percentile_sorted(five, 0.30), 20.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted(five, 0.40), 20.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted(five, 0.50), 35.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted(five, 0.75), 40.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted(five, 1.00), 50.0, 0.0);
+    // Degenerate shapes: empty -> 0 (guarded, no UB); singleton -> the
+    // sample at every p; p <= 0 -> min.
+    CHECK_NEAR(util::percentile_sorted({}, 0.99), 0.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted({7.5}, 0.01), 7.5, 0.0);
+    CHECK_NEAR(util::percentile_sorted({7.5}, 0.99), 7.5, 0.0);
+    CHECK_NEAR(util::percentile_sorted(ten, 0.0), 1.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted(ten, -1.0), 1.0, 0.0);
+    // A result is always a REAL sample, never interpolated: p50 of {1,2}
+    // is 1 (rank 1), not 1.5.
+    CHECK_NEAR(util::percentile_sorted({1.0, 2.0}, 0.50), 1.0, 0.0);
+    CHECK_NEAR(util::percentile_sorted({1.0, 2.0}, 0.51), 2.0, 0.0);
+  }
+
   // ---------- P2Quantile: exact for the first 5 samples ----------
   {
     util::P2Quantile med(0.5);
