@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/rlscheduler.hpp"
+#include "sched/exact.hpp"
 #include "sched/heuristics.hpp"
 #include "sim/env.hpp"
 #include "workload/synthetic.hpp"
@@ -112,10 +113,62 @@ std::string cell(double v);
 int run_training_curves(const std::string& title, sim::Metric metric,
                         const std::vector<std::string>& traces);
 
+/// Optimality-gap study configuration: W standalone contended windows of K
+/// jobs per trace, solved exactly (node-budgeted branch-and-bound) and
+/// replayed greedily under every heuristic. The node budget is chosen so
+/// well-pruned windows prove optimality while pathological ones fall back
+/// to the admissible bound (proved=false) — both paths stay exercised.
+struct GapStudyConfig {
+  std::size_t window = 8;       ///< jobs per window (K)
+  std::size_t windows = 12;     ///< windows per trace (W)
+  std::uint64_t max_nodes = 60000;  ///< B&B budget per window
+};
+
+/// Per-trace gap-study results: exact/bound/proved per window plus every
+/// heuristic's greedy objective on the same windows. The per-window gap is
+/// heuristic / exact on proved windows and heuristic / bound otherwise
+/// (still an upper bound on the true gap — the bound is admissible).
+struct TraceGapStudy {
+  std::string trace;
+  std::vector<double> exact;  ///< solver objective per window
+  std::vector<double> bound;  ///< admissible root lower bound per window
+  std::vector<int> proved;    ///< 1 = search exhausted, objective optimal
+  std::uint64_t nodes = 0;    ///< total B&B placements across windows
+  std::vector<std::string> heuristic_names;
+  std::vector<std::vector<double>> heuristic;  ///< [heuristic][window]
+};
+
+/// Run the gap study on `windows` deterministic windows sampled from the
+/// trace (seeded by `seed` and the trace name — identical across runs and
+/// hosts for a given build).
+TraceGapStudy run_gap_study(const std::string& trace_name,
+                            sched::ExactObjective objective,
+                            const GapStudyConfig& gap, std::uint64_t seed);
+
+/// Metric -> exact-solver objective: Utilization maps to the window
+/// makespan proxy, everything else to total bounded slowdown.
+sched::ExactObjective exact_objective_for(sim::Metric metric);
+
+/// Average metric of the exact-window policy (ExactWindowPolicy driven
+/// through the live env, rearmed per sequence) over shared sequences.
+double exact_avg(const std::vector<std::vector<trace::Job>>& seqs,
+                 int processors, bool backfill, sim::Metric metric,
+                 sched::ExactObjective objective);
+
+/// Options for run_scheduling_table. When `json_bench` is set the table
+/// gains an EXACT column and an optimality-gap summary, and `json = true`
+/// switches to the machine-readable gap block alone (no RL training — the
+/// CI perf job runs this mode) for scripts/perf_gate.py.
+struct TableOptions {
+  const char* json_bench = nullptr;  ///< JSON "bench" field; nullptr = off
+  bool json = false;                 ///< emit the gap JSON block only
+};
+
 /// Shared driver for the scheduling-results tables (Tables V, VI, X, XI):
 /// evaluate the five heuristics plus the RL model trained on each trace,
 /// with and without backfilling, and print the paper's row layout.
 int run_scheduling_table(const std::string& title, sim::Metric metric,
-                         const std::vector<std::string>& traces);
+                         const std::vector<std::string>& traces,
+                         const TableOptions& opts = {});
 
 }  // namespace rlsched::bench

@@ -54,11 +54,14 @@
 #include <cmath>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/ops.hpp"
 #include "rl/observation.hpp"
 #include "rl/policy.hpp"
+#include "sched/exact.hpp"
+#include "sched/heuristics.hpp"
 #include "sim/env.hpp"
 #include "sim/pending_index.hpp"
 #include "sim/reference_env.hpp"
@@ -154,14 +157,15 @@ Storm make_adversarial_storm(std::uint64_t seed, int processors) {
 /// storm regime where heads wait and the EASY reservation + backfill
 /// machinery runs on most decisions, not the trivial start-immediately
 /// prefix.
-template <class Env, class DriveFn>
-double decisions_per_sec(Env& env, const std::vector<trace::Job>& jobs,
-                         std::size_t decisions, int reps, bool check_allocs,
-                         DriveFn&& drive) {
+template <class Env, class DriveFn, class OnResetFn>
+double decisions_per_sec_r(Env& env, const std::vector<trace::Job>& jobs,
+                           std::size_t decisions, int reps, bool check_allocs,
+                           DriveFn&& drive, OnResetFn&& on_reset) {
   double best = 0.0;
   const int contended = std::max(1, env.processors() / 4);
   for (int rep = 0; rep < reps; ++rep) {
     env.reset(jobs);
+    on_reset();
     for (std::size_t w = 0;
          w < decisions / 2 && !env.done() &&
          env.free_processors() >= contended;
@@ -183,6 +187,14 @@ double decisions_per_sec(Env& env, const std::vector<trace::Job>& jobs,
     best = std::max(best, static_cast<double>(d) / elapsed);
   }
   return best;
+}
+
+template <class Env, class DriveFn>
+double decisions_per_sec(Env& env, const std::vector<trace::Job>& jobs,
+                         std::size_t decisions, int reps, bool check_allocs,
+                         DriveFn&& drive) {
+  return decisions_per_sec_r(env, jobs, decisions, reps, check_allocs,
+                             std::forward<DriveFn>(drive), [] {});
 }
 
 struct Row {
@@ -236,8 +248,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- self-check: optimality-gap invariants on one storm window ---
+  // Unlimited node budget on 8 jobs proves the optimum; by construction
+  // the admissible bound is bitwise <= the optimum and the optimum <= any
+  // greedy order's objective. A run violating either has a broken solver,
+  // so it exits nonzero like the core-equivalence check above.
+  sched::ExactConfig ocfg;
+  ocfg.window = 8;
+  ocfg.max_nodes = 0;  // unlimited: the gap claim needs a proved optimum
+  sched::ExactWindowScheduler osolver(ocfg);
+  sched::WindowProblem owin;
+  owin.now = 0.0;
+  owin.processors = storm.processors;
+  // Contended machine: a sliver free now, the rest released in staircase
+  // steps — orderings genuinely differ, so the gap ratios are nontrivial.
+  owin.free = std::max(1, storm.processors / 16);
+  {
+    std::int32_t busy = storm.processors - owin.free;
+    for (int step = 0; busy > 0; ++step) {
+      const std::int32_t r = std::max<std::int32_t>(1, busy / 2);
+      owin.releases.push_back({120.0 * (step + 1), r});
+      busy -= r;
+    }
+  }
+  // Adversarial-storm jobs (short runtimes, a full-width blocker leading a
+  // procs ramp): induced waits dwarf the runtimes, so bounded slowdown —
+  // and the heuristic gap — actually moves with the chosen order.
+  owin.jobs.assign(adv.jobs.begin(), adv.jobs.begin() + 8);
+  const auto oexact = osolver.solve(owin);
+  const auto ofcfs = osolver.evaluate_greedy(owin, sched::fcfs_priority());
+  const auto osjf = osolver.evaluate_greedy(owin, sched::sjf_priority());
+  if (!oexact.proved || oexact.bound > oexact.objective ||
+      oexact.objective > ofcfs.objective ||
+      oexact.objective > osjf.objective) {
+    std::fprintf(stderr,
+                 "FATAL: optimality-gap invariant violated on the storm "
+                 "window (bound %.17g, exact %.17g proved=%d, fcfs %.17g, "
+                 "sjf %.17g) — run test_exact_window\n",
+                 oexact.bound, oexact.objective, oexact.proved ? 1 : 0,
+                 ofcfs.objective, osjf.objective);
+    return 1;
+  }
+
   std::vector<Row> rows = {{"fcfs_plain", {}},    {"fcfs_easy", {}},
                            {"fcfs_easy_adv", {}}, {"kernel", {}},
+                           {"exact_w8", {}},
                            {"ref_fcfs_plain", {}}, {"ref_fcfs_easy", {}},
                            {"ref_kernel", {}}};
   const sim::EnvConfig plain_cfg{.backfill = false};
@@ -245,6 +300,19 @@ int main(int argc, char** argv) {
   sim::SchedulingEnv env_plain(storm.processors, plain_cfg);
   sim::ReferenceEnv ref(storm.processors, cfg);
   sim::ReferenceEnv ref_plain(storm.processors, plain_cfg);
+  // The exact-window planner as a decision path: branch-and-bound over the
+  // first 8 observable jobs, replanned when the plan drains. The node
+  // budget caps per-decision work independent of backlog depth, so this
+  // row must scale flat like the other indexed paths. The plan binds env
+  // JOB INDICES, so each repetition rearms after reset (decisions_per_sec_r
+  // below) — a stale plan would silently alias the fresh episode.
+  sched::ExactConfig exact_cfg;
+  exact_cfg.window = 8;
+  exact_cfg.max_nodes = 20000;
+  sched::ExactWindowPolicy exact_pol(env, exact_cfg);
+  const auto exact_step = [&exact_pol](auto& e) {
+    e.step(exact_pol.next_action());
+  };
   // Visits-per-query on the two backfilled mixes (RLSCHED_INDEX_STATS
   // builds; zeros otherwise). Sampled across each row's warm + timed
   // decisions — same regime either way.
@@ -277,11 +345,13 @@ int main(int argc, char** argv) {
     vpq_adv[bi] = vpq_sample();
     rows[3].dps[bi] =
         decisions_per_sec(env, jobs, k, reps_idx, true, kernel_step);
-    rows[4].dps[bi] =
-        decisions_per_sec(ref_plain, jobs, k, reps_ref, false, fcfs_step);
+    rows[4].dps[bi] = decisions_per_sec_r(env, jobs, k, 2, true, exact_step,
+                                          [&exact_pol] { exact_pol.rearm(); });
     rows[5].dps[bi] =
-        decisions_per_sec(ref, jobs, k, reps_ref, false, fcfs_step);
+        decisions_per_sec(ref_plain, jobs, k, reps_ref, false, fcfs_step);
     rows[6].dps[bi] =
+        decisions_per_sec(ref, jobs, k, reps_ref, false, fcfs_step);
+    rows[7].dps[bi] =
         decisions_per_sec(ref, jobs, k, reps_ref, false, kernel_step);
     if constexpr (sim::PendingIndex::kStatsEnabled) {
       // The measurable worst-case-log claim: node visits per backfill
@@ -318,9 +388,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "indexed vs reference at 64k: fcfs_plain %.1fx, fcfs_easy "
                "%.1fx, kernel %.1fx; adversarial vs benign easy %.2fx\n",
-               rows[0].dps[2] / rows[4].dps[2],
-               rows[1].dps[2] / rows[5].dps[2],
-               rows[3].dps[2] / rows[6].dps[2],
+               rows[0].dps[2] / rows[5].dps[2],
+               rows[1].dps[2] / rows[6].dps[2],
+               rows[3].dps[2] / rows[7].dps[2],
                rows[1].dps[2] / rows[2].dps[2]);
   if constexpr (sim::PendingIndex::kStatsEnabled) {
     std::fprintf(stderr,
@@ -329,6 +399,12 @@ int main(int argc, char** argv) {
                  vpq_easy[0], vpq_easy[1], vpq_easy[2], vpq_adv[0],
                  vpq_adv[1], vpq_adv[2]);
   }
+  std::fprintf(stderr,
+               "optgap on one 8-job storm window: bound %.4g <= exact %.4g "
+               "(proved) <= fcfs %.4g (%.3fx), sjf %.4g (%.3fx)\n",
+               oexact.bound, oexact.objective, ofcfs.objective,
+               ofcfs.objective / oexact.objective, osjf.objective,
+               osjf.objective / oexact.objective);
 
   if (json) {
     std::printf("{\n  \"bench\": \"bench_sched_scaling\",\n");
@@ -336,6 +412,11 @@ int main(int argc, char** argv) {
                 kBacklogs[1], kBacklogs[2]);
     std::printf("  \"index_stats\": %s,\n",
                 sim::PendingIndex::kStatsEnabled ? "true" : "false");
+    std::printf("  \"optgap\": {\"window\": 8, \"proved\": %s, "
+                "\"bound\": %.17g, \"exact\": %.17g, \"fcfs\": %.17g, "
+                "\"sjf\": %.17g},\n",
+                oexact.proved ? "true" : "false", oexact.bound,
+                oexact.objective, ofcfs.objective, osjf.objective);
     std::printf("  \"metrics\": {\n");
     for (std::size_t r = 0; r < rows.size(); ++r) {
       std::printf("    \"%s\": {", rows[r].name.c_str());

@@ -223,6 +223,11 @@ class SchedulingEnv {
   /// stats accessors are the only intended use.
   const PendingIndex& pending_index() const { return pending_; }
 
+  /// Read-only view of the running-set timeline. The exact bounded-window
+  /// policy (sched/exact.hpp) snapshots live() to build the free-capacity
+  /// staircase of its window subproblem. Valid until the next step.
+  const Timeline& timeline() const { return timeline_; }
+
   /// Metrics of the (possibly partial) schedule so far.
   RunResult result() const;
 

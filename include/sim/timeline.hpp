@@ -33,12 +33,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace rlsched::sim {
 
 class Timeline {
  public:
+  struct Completion {
+    double end;
+    std::int32_t procs;
+  };
+
   /// Drop all completions and reserve capacity for `expected` inserts.
   /// Capacity is retained across resets (warm envs stop allocating).
   void reset(std::size_t expected);
@@ -63,12 +69,15 @@ class Timeline {
   /// bitwise parity with the reference core.
   double reservation(int free_now, int needed, double now, int* spare);
 
- private:
-  struct Completion {
-    double end;
-    std::int32_t procs;
-  };
+  /// The live running set, sorted by end time (length == size(), bounded by
+  /// the processor count). Read-only snapshot for window extraction — the
+  /// exact solver builds its free-capacity staircase from it. Valid until
+  /// the next insert/pop/reset.
+  std::span<const Completion> live() const {
+    return {items_.data() + head_, items_.size() - head_};
+  }
 
+ private:
   void maybe_compact();
   /// Extend the prefix cache through index `i` (slab coordinates).
   void repair_to(std::size_t i);

@@ -3,7 +3,8 @@
 # ctest) plus the Table IX cost benchmark as a compile-and-run smoke test of
 # the perf-critical path.
 #
-# Usage: scripts/check.sh [--sanitize[=LIST]] [--coverage] [--perf] [build-dir]
+# Usage: scripts/check.sh [--sanitize[=LIST]] [--coverage] [--perf] [--docs]
+#                         [build-dir]
 #
 #   --sanitize            shorthand for --sanitize=address,undefined
 #   --sanitize=LIST       instrument with -fsanitize=LIST; LIST=thread runs
@@ -34,7 +35,17 @@
 #                         configures -DRLSCHED_INDEX_STATS=ON so the
 #                         scaling bench reports (and the gate pins)
 #                         backfill node visits per query.
+#                         The table benches run in --json mode, which
+#                         solves the optimality-gap study alone (no RL
+#                         training): bench_table5_bsld / bench_table6_util
+#                         gate the exact solver's bound-admissibility and
+#                         exact-beats-every-heuristic invariants.
 #                         Skips ctest (the matrix jobs own correctness).
+#   --docs                run the documentation gates only (no compiler):
+#                         scripts/check_docs.py checks every relative link
+#                         in README.md/DESIGN.md/docs/ resolves and that
+#                         the bench/test inventory named in the docs
+#                         matches the tree in both directions
 #   build-dir             defaults to ./build (or ./build-<sanitizers>,
 #                         ./build-coverage)
 #
@@ -61,6 +72,7 @@ trap 'printf "%sFAILED during: %s%s\n" "$RED" "$CURRENT_STEP" "$RESET" >&2' ERR
 SANITIZE=""
 COVERAGE=""
 PERF=""
+DOCS=""
 BUILD_DIR=""
 for arg in "$@"; do
   case "$arg" in
@@ -68,6 +80,7 @@ for arg in "$@"; do
     --sanitize=*) SANITIZE="${arg#--sanitize=}" ;;
     --coverage) COVERAGE=1 ;;
     --perf) PERF=1 ;;
+    --docs) DOCS=1 ;;
     -h|--help)
       sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
@@ -81,6 +94,24 @@ for arg in "$@"; do
     *) BUILD_DIR="$arg" ;;
   esac
 done
+if [ -n "$DOCS" ]; then
+  # Pure documentation gates: no compiler, no build directory. Refusing the
+  # combination keeps "check.sh --docs --perf passed" from meaning less
+  # than it reads.
+  if [ -n "$SANITIZE" ] || [ -n "$COVERAGE" ] || [ -n "$PERF" ]; then
+    printf '%s--docs cannot combine with --sanitize/--coverage/--perf%s\n' \
+      "$RED" "$RESET" >&2
+    exit 2
+  fi
+  command -v python3 >/dev/null || {
+    printf '%spython3 is required for the docs gate%s\n' "$RED" "$RESET" >&2
+    exit 1
+  }
+  step "docs gate (relative links resolve, bench/test inventory in sync)"
+  python3 scripts/check_docs.py
+  printf '%s== docs checks passed ==%s\n' "$GREEN" "$RESET"
+  exit 0
+fi
 if [ -z "$BUILD_DIR" ]; then
   if [ -n "$SANITIZE" ]; then
     BUILD_DIR="build-${SANITIZE//,/-}"
@@ -178,6 +209,16 @@ if [ -n "$PERF" ]; then
     --json > "$BUILD_DIR/bench_serve_load.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_serve_load.json" --tolerance 0.25
+  step "optimality-gap gate, bsld windows (bound <= exact <= every heuristic)"
+  "$BUILD_DIR/bench/bench_table5_bsld" --json \
+    > "$BUILD_DIR/bench_table5_bsld.json"
+  python3 scripts/perf_gate.py bench/baseline.json \
+    "$BUILD_DIR/bench_table5_bsld.json" --tolerance 0.25
+  step "optimality-gap gate, makespan windows (bound <= exact <= every heuristic)"
+  "$BUILD_DIR/bench/bench_table6_util" --json \
+    > "$BUILD_DIR/bench_table6_util.json"
+  python3 scripts/perf_gate.py bench/baseline.json \
+    "$BUILD_DIR/bench_table6_util.json" --tolerance 0.25
   printf '%s== perf gates passed ==%s\n' "$GREEN" "$RESET"
   exit 0
 fi

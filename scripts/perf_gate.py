@@ -45,9 +45,34 @@ bench_sched_scaling — indexed scheduling core on storm backlogs:
   gated directly: adversarial <= 2x benign at 64k, and both mixes within
   tolerance of the recorded baseline counts.
 
+* EXACT-WINDOW row (exact_w8): the branch-and-bound planner's node budget
+  caps per-decision work independent of backlog depth, so its 1k-to-64k
+  ratio gates against the recorded baseline ratio. The bench's "optgap"
+  self-check block gates HARD within the run: on one storm window the
+  admissible bound must sit at or below the PROVED optimum, which must sit
+  at or below every greedy heuristic.
+
 * ABSOLUTE decisions/sec and indexed-vs-reference speedups are also
   compared against the baseline but only WARN: hosted CI machines
   legitimately differ by more than any useful tolerance.
+
+bench_table5_bsld / bench_table6_util (--json mode) — optimality-gap study
+on standalone contended windows (sched/exact.hpp):
+
+* HARD, host-independent by construction: on every window the admissible
+  lower bound must sit at or below the exact objective, and on every
+  PROVED window (search exhausted) the exact objective must sit at or
+  below every heuristic's greedy objective — the solver's two load-bearing
+  contracts, checked within the current run with only round-trip epsilon.
+
+* objective/window/windows/max_nodes are RUN configuration: a mismatch
+  with the baseline is a config error and fails hard.
+
+* Proved-window counts, node counts, and per-heuristic average gap ratios
+  are compared against the baseline but only WARN: branch-and-bound
+  pruning follows floating-point comparisons, so compilers that contract
+  differently (-ffp-contract) can legitimately prove a different subset
+  within the node budget.
 
 bench_serve_load — multi-tenant session daemon, closed-loop bursts
 (in-process and over loopback sockets) plus open-loop Poisson arrivals:
@@ -209,6 +234,51 @@ def check_sched_scaling(baseline_doc, current_doc, tolerance):
 
         warn_absolute(name, base, cur, ("n1k", "n8k", "n64k"), tolerance)
 
+    # The exact-window planner row: the branch-and-bound node budget caps
+    # per-decision work independent of backlog depth, so its backlog curve
+    # gates against the recorded baseline ratio like the other indexed
+    # paths (no reference twin — the seed core never had an exact solver).
+    cur_ex = current.get("exact_w8")
+    base_ex = baseline.get("exact_w8")
+    if cur_ex is None:
+        fail("metric 'exact_w8' missing from current run")
+    elif base_ex is None:
+        fail("metric 'exact_w8' missing from baseline — refresh "
+             "bench/baseline.json with the full bench output")
+    else:
+        base_flat = base_ex["n1k"] / base_ex["n64k"]
+        cur_flat = cur_ex["n1k"] / cur_ex["n64k"]
+        limit = base_flat * (1.0 + tolerance)
+        status = "ok" if cur_flat <= limit else "FAIL"
+        print(f"{'exact_w8':16s} 64k/1k per-decision cost {cur_flat:7.2f}x "
+              f"(baseline {base_flat:.2f}x, gate <= {limit:.2f}x) {status}")
+        if cur_flat > limit:
+            fail(f"exact_w8 backlog scaling regressed: per-decision cost "
+                 f"grew {cur_flat:.2f}x from 1k to 64k (gate <= "
+                 f"{limit:.2f}x)")
+        warn_absolute("exact_w8", base_ex, cur_ex, ("n1k", "n8k", "n64k"),
+                      tolerance)
+
+    # Optimality-gap self-check on the storm window: bound <= exact <=
+    # every greedy heuristic, with the optimum PROVED (unlimited budget on
+    # 8 jobs). Pure solver contracts, host-independent — they gate HARD.
+    og = current_doc.get("optgap")
+    if og is None:
+        fail("'optgap' block missing from current run")
+    else:
+        ok = (og.get("proved") is True
+              and og["bound"] <= og["exact"] + 1e-9 * (1.0 + abs(og["exact"]))
+              and og["exact"] <= og["fcfs"] + 1e-9 * (1.0 + abs(og["fcfs"]))
+              and og["exact"] <= og["sjf"] + 1e-9 * (1.0 + abs(og["sjf"])))
+        print(f"{'optgap':16s} bound {og['bound']:.4g} <= exact "
+              f"{og['exact']:.4g} (proved={og.get('proved')}) <= fcfs "
+              f"{og['fcfs']:.4g} / sjf {og['sjf']:.4g} (hard gate) "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            fail("optimality-gap invariant violated on the storm window: "
+                 "need proved bound <= exact <= every greedy heuristic "
+                 "(run test_exact_window)")
+
     # Adversarial staircase mix throughput: the two mixes do genuinely
     # different per-decision work (the adversarial storm keeps the machine
     # blocked, so every decision runs a live reservation + full backfill
@@ -266,6 +336,77 @@ def check_sched_scaling(baseline_doc, current_doc, tolerance):
     if ratio > 2.0:
         fail(f"adversarial backfill descent visits {ratio:.2f}x the "
              f"benign mix's nodes per query at 64k (gate <= 2.00x)")
+
+
+def check_optgap_table(baseline_doc, current_doc, tolerance):
+    # The window generator and solver budget are RUN configuration: gap
+    # ratios recorded at another shape are honest numbers the baseline was
+    # never recorded for — config error, same policy as simd_lanes.
+    for field in ("objective", "window", "windows", "max_nodes"):
+        if baseline_doc.get(field) != current_doc.get(field):
+            fail(f"bench config mismatch: {field} is "
+                 f"{current_doc.get(field)} here but the baseline was "
+                 f"recorded at {baseline_doc.get(field)} — refresh "
+                 f"bench/baseline.json for this configuration")
+            return
+
+    def gap_avg(trace_doc, heur_vals):
+        total = 0.0
+        for i, v in enumerate(heur_vals):
+            denom = (trace_doc["exact"][i] if trace_doc["proved"][i]
+                     else trace_doc["bound"][i])
+            total += v / max(denom, 1e-12)
+        return total / len(heur_vals)
+
+    base_traces = baseline_doc["traces"]
+    cur_traces = current_doc["traces"]
+    for name, base in sorted(base_traces.items()):
+        cur = cur_traces.get(name)
+        if cur is None:
+            fail(f"trace '{name}' missing from current run")
+            continue
+
+        exact, bound, proved = cur["exact"], cur["bound"], cur["proved"]
+        proved_ct = sum(proved)
+
+        # HARD within-run invariants, host-independent by construction.
+        # The JSON round-trips doubles at %.17g, so only a relative-epsilon
+        # cushion against a lossy serializer is allowed here.
+        for i in range(len(exact)):
+            if bound[i] > exact[i] + 1e-9 * (1.0 + abs(exact[i])):
+                fail(f"{name} window {i}: lower bound {bound[i]:.17g} "
+                     f"EXCEEDS the exact objective {exact[i]:.17g} — the "
+                     f"bound is inadmissible (run test_exact_window)")
+        for hname, vals in sorted(cur["heuristics"].items()):
+            for i, v in enumerate(vals):
+                if proved[i] and exact[i] > v + 1e-9 * (1.0 + abs(v)):
+                    fail(f"{name}/{hname} window {i}: proved optimum "
+                         f"{exact[i]:.17g} EXCEEDS the heuristic objective "
+                         f"{v:.17g} — the 'exact' solver is not exact")
+
+        # Gap ratios and proved counts drift with compiler FP contraction:
+        # baseline comparisons WARN only.
+        base_proved = sum(base["proved"])
+        print(f"{name:16s} proved {proved_ct}/{len(proved)} windows "
+              f"(baseline {base_proved}/{len(base['proved'])}), "
+              f"{cur['nodes']} nodes")
+        if proved_ct < base_proved:
+            print(f"WARN: {name} proved only {proved_ct} windows vs "
+                  f"{base_proved} in the baseline (FP contraction moves "
+                  f"pruning; the within-run invariants above are the gate)")
+        for hname, vals in sorted(cur["heuristics"].items()):
+            base_vals = base["heuristics"].get(hname)
+            if base_vals is None:
+                fail(f"{name}/{hname} missing from baseline — refresh "
+                     f"bench/baseline.json with the full bench output")
+                continue
+            cur_gap = gap_avg(cur, vals)
+            base_gap = gap_avg(base, base_vals)
+            print(f"{name:16s} {hname:8s} avg gap {cur_gap:7.3f}x "
+                  f"(baseline {base_gap:.3f}x)")
+            if cur_gap > base_gap * (1.0 + tolerance):
+                print(f"WARN: {name}/{hname} average gap {cur_gap:.3f}x is "
+                      f"above the baseline {base_gap:.3f}x band")
 
 
 def check_decision_latency(baseline_doc, current_doc, tolerance):
@@ -399,6 +540,8 @@ CHECKERS = {
     "bench_decision_latency": check_decision_latency,
     "bench_sched_scaling": check_sched_scaling,
     "bench_serve_load": check_serve_load,
+    "bench_table5_bsld": check_optgap_table,
+    "bench_table6_util": check_optgap_table,
 }
 
 

@@ -1,0 +1,488 @@
+// Bounded-window exact scheduler — see include/sched/exact.hpp for the
+// model, the admissibility arguments, and the determinism contract.
+
+#include "sched/exact.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace rlsched::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* exact_objective_name(ExactObjective o) {
+  switch (o) {
+    case ExactObjective::TotalBoundedSlowdown:
+      return "total_bounded_slowdown";
+    case ExactObjective::Makespan:
+      return "makespan";
+  }
+  return "?";
+}
+
+ExactWindowScheduler::ExactWindowScheduler(ExactConfig cfg) : cfg_(cfg) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  if (cfg_.window > kMaxExactWindow) cfg_.window = kMaxExactWindow;
+}
+
+void ExactWindowScheduler::reserve(std::size_t max_releases) {
+  rel_end_.reserve(max_releases);
+  rel_procs_.reserve(max_releases);
+  rel_cum_.reserve(max_releases + 1);
+}
+
+void ExactWindowScheduler::load(const WindowProblem& p) {
+  if (p.jobs.size() > kMaxExactWindow) {
+    throw std::invalid_argument("ExactWindowScheduler: window too large");
+  }
+  n_ = p.jobs.size();
+  now_ = p.now;
+  total_procs_ = p.processors > 0 ? p.processors : 1;
+
+  rel_end_.clear();
+  rel_procs_.clear();
+  rel_cum_.clear();
+  rel_cum_.push_back(p.free > 0 ? p.free : 0);
+  double prev = -kInf;
+  for (const Release& r : p.releases) {
+    if (r.end < prev) {
+      throw std::invalid_argument("ExactWindowScheduler: releases unsorted");
+    }
+    prev = r.end;
+    rel_end_.push_back(r.end);
+    rel_procs_.push_back(r.procs);
+    rel_cum_.push_back(rel_cum_.back() + r.procs);
+  }
+  free_ = rel_cum_.front();
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    const trace::Job& j = p.jobs[k];
+    submit_[k] = j.submit_time;
+    run_[k] = j.run_time;
+    // Defensive clamp to the env's prepare() invariant so a hand-built
+    // window can never spin the staircase probe forever.
+    std::int32_t procs = j.requested_procs;
+    if (procs < 1) procs = 1;
+    if (procs > total_procs_) procs = total_procs_;
+    procs_[k] = procs;
+  }
+}
+
+std::int64_t ExactWindowScheduler::cap_at(double t, std::size_t depth) const {
+  // Releases with end <= t have fired (Timeline::pop_until semantics).
+  const std::size_t fired = static_cast<std::size_t>(
+      std::upper_bound(rel_end_.begin(), rel_end_.end(), t) -
+      rel_end_.begin());
+  std::int64_t cap = rel_cum_[fired];
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (placed_end_[i] > t) cap -= placed_procs_[i];
+  }
+  return cap;
+}
+
+double ExactWindowScheduler::earliest_start(double frontier,
+                                            std::int32_t procs,
+                                            std::size_t depth) {
+  std::int64_t cap = cap_at(frontier, depth);
+  if (cap >= procs) return frontier;
+
+  // Capacity is a nondecreasing step function for t >= frontier (all
+  // placements start at or before the frontier): it only jumps upward, at
+  // release ends and placed-job ends. Merge-walk those event times.
+  std::size_t m = 0;
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    if (placed_end_[i] > frontier) scratch_[m++] = i;
+  }
+  // Insertion sort by end time: m <= kMaxExactWindow.
+  for (std::size_t a = 1; a < m; ++a) {
+    const std::uint32_t v = scratch_[a];
+    std::size_t b = a;
+    while (b > 0 && placed_end_[scratch_[b - 1]] > placed_end_[v]) {
+      scratch_[b] = scratch_[b - 1];
+      --b;
+    }
+    scratch_[b] = v;
+  }
+
+  std::size_t ri = static_cast<std::size_t>(
+      std::upper_bound(rel_end_.begin(), rel_end_.end(), frontier) -
+      rel_end_.begin());
+  std::size_t si = 0;
+  while (ri < rel_end_.size() || si < m) {
+    double t;
+    if (si >= m) {
+      t = rel_end_[ri];
+    } else if (ri >= rel_end_.size()) {
+      t = placed_end_[scratch_[si]];
+    } else {
+      t = std::min(rel_end_[ri], placed_end_[scratch_[si]]);
+    }
+    // Absorb every event at exactly t before testing the capacity.
+    while (ri < rel_end_.size() && rel_end_[ri] == t) {
+      cap += rel_procs_[ri];
+      ++ri;
+    }
+    while (si < m && placed_end_[scratch_[si]] == t) {
+      cap += placed_procs_[scratch_[si]];
+      ++si;
+    }
+    if (cap >= procs) return t;
+  }
+  return kInf;  // procs > machine size: clamped away upstream
+}
+
+double ExactWindowScheduler::area_horizon(double frontier, double work,
+                                          std::size_t depth) {
+  if (work <= 0.0) return frontier;
+  std::int64_t cap = cap_at(frontier, depth);
+
+  std::size_t m = 0;
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    if (placed_end_[i] > frontier) scratch_[m++] = i;
+  }
+  for (std::size_t a = 1; a < m; ++a) {
+    const std::uint32_t v = scratch_[a];
+    std::size_t b = a;
+    while (b > 0 && placed_end_[scratch_[b - 1]] > placed_end_[v]) {
+      scratch_[b] = scratch_[b - 1];
+      --b;
+    }
+    scratch_[b] = v;
+  }
+
+  std::size_t ri = static_cast<std::size_t>(
+      std::upper_bound(rel_end_.begin(), rel_end_.end(), frontier) -
+      rel_end_.begin());
+  std::size_t si = 0;
+  double t = frontier;
+  double area = 0.0;
+  while (ri < rel_end_.size() || si < m) {
+    double e;
+    if (si >= m) {
+      e = rel_end_[ri];
+    } else if (ri >= rel_end_.size()) {
+      e = placed_end_[scratch_[si]];
+    } else {
+      e = std::min(rel_end_[ri], placed_end_[scratch_[si]]);
+    }
+    if (cap > 0) {
+      const double gained = static_cast<double>(cap) * (e - t);
+      if (area + gained >= work) {
+        return t + (work - area) / static_cast<double>(cap);
+      }
+      area += gained;
+    }
+    t = e;
+    while (ri < rel_end_.size() && rel_end_[ri] == e) {
+      cap += rel_procs_[ri];
+      ++ri;
+    }
+    while (si < m && placed_end_[scratch_[si]] == e) {
+      cap += placed_procs_[scratch_[si]];
+      ++si;
+    }
+  }
+  // Past the last event the whole machine is free.
+  if (cap <= 0) return kInf;
+  return t + (work - area) / static_cast<double>(cap);
+}
+
+double ExactWindowScheduler::lower_bound(double frontier, std::uint32_t used,
+                                         std::size_t depth) {
+  // A full-vector bound evaluated with EXACTLY the leaf arithmetic
+  // (objective_of_starts' index-order walk), placed jobs contributing
+  // their actual term and unplaced jobs their earliest-start relaxation.
+  // Each unplaced job probed alone against the staircase can only start
+  // earlier than in any completion (competitors only consume capacity;
+  // the staircase probe compares exact event times against exact integer
+  // capacities, no rounding), and bounded slowdown / completion time are
+  // monotone in start time — monotone also under floating rounding. A sum
+  // (or max) of termwise-<= values in the same order is <=, so this bound
+  // is BITWISE <= every leaf of the subtree: pruning at lb >= incumbent
+  // is exactly the strict-< enumeration, ties included.
+  if (cfg_.objective == ExactObjective::TotalBoundedSlowdown) {
+    double lb = 0.0;
+    for (std::uint32_t k = 0; k < n_; ++k) {
+      const double s = (used & (1u << k))
+                           ? start_[k]
+                           : earliest_start(frontier, procs_[k], depth);
+      lb += sim::bounded_slowdown(s - submit_[k], run_[k]);
+    }
+    return lb;
+  }
+  // Makespan: the same per-job relaxed max, refined by the
+  // fractional-packing horizon — the remaining work area must fit under
+  // the capacity profile from the frontier on, so the earliest horizon
+  // with enough integrated free area lower-bounds the makespan. The
+  // horizon involves divisions whose rounding is not direction-safe, so
+  // it is nudged down by a margin far above the walk's accumulated error
+  // (admissibility is preserved: lowering a lower bound is always sound).
+  double lb = 0.0;
+  double work = 0.0;
+  bool any = false;
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    double s;
+    if (used & (1u << k)) {
+      s = start_[k];
+    } else {
+      s = earliest_start(frontier, procs_[k], depth);
+      any = true;
+      work += static_cast<double>(procs_[k]) * run_[k];
+    }
+    const double end = (s + run_[k]) - now_;
+    if (end > lb) lb = end;
+  }
+  if (any) {
+    double h = area_horizon(frontier, work, depth) - now_;
+    h -= (std::fabs(h) + 1.0) * 1e-12;
+    if (h > lb) lb = h;
+  }
+  return lb;
+}
+
+double ExactWindowScheduler::objective_of_starts() const {
+  if (cfg_.objective == ExactObjective::TotalBoundedSlowdown) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n_; ++k) {
+      sum += sim::bounded_slowdown(start_[k] - submit_[k], run_[k]);
+    }
+    return sum;
+  }
+  double mk = 0.0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double end = (start_[k] + run_[k]) - now_;
+    if (end > mk) mk = end;
+  }
+  return mk;
+}
+
+void ExactWindowScheduler::dfs(std::size_t depth, double frontier) {
+  if (depth == n_) {
+    // Leaves re-evaluate from the start vector in index order (see
+    // objective_of_starts): tied placements compare bitwise equal, so the
+    // strict-< update keeps the lexicographically first optimum exactly
+    // as a plain enumeration would.
+    const double obj = objective_of_starts();
+    if (!best_found_ || obj < best_obj_) {
+      best_found_ = true;
+      best_obj_ = obj;
+      std::copy(perm_.begin(), perm_.begin() + n_, best_.begin());
+    }
+    return;
+  }
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    const std::uint32_t bit = 1u << j;
+    if (used_ & bit) continue;
+    // The budget is only consulted once an incumbent exists: the first
+    // DFS descent always completes, so the fallback is a full schedule.
+    if (best_found_ && cfg_.max_nodes != 0 && nodes_ >= cfg_.max_nodes) {
+      out_of_budget_ = true;
+      return;
+    }
+    ++nodes_;
+    const double s = earliest_start(frontier, procs_[j], depth);
+    start_[j] = s;
+    placed_end_[depth] = s + run_[j];
+    placed_procs_[depth] = procs_[j];
+    perm_[depth] = j;
+    used_ |= bit;
+    bool prune = false;
+    if (best_found_) {
+      // The bound is bitwise <= every leaf below (see lower_bound), so
+      // lb >= incumbent prunes exactly the subtrees a strict-<
+      // enumeration would not take an update from — the incumbent stays
+      // the lexicographically-first minimum, ulp ties included.
+      const double lb = lower_bound(s, used_, depth + 1);
+      prune = !(lb < best_obj_);
+    }
+    if (!prune) dfs(depth + 1, s);
+    used_ &= ~bit;
+    if (out_of_budget_) return;
+  }
+}
+
+WindowSolution ExactWindowScheduler::solve(const WindowProblem& p) {
+  load(p);
+  WindowSolution sol;
+  sol.count = static_cast<std::uint32_t>(n_);
+  if (n_ == 0) {
+    sol.proved = true;
+    return sol;
+  }
+  nodes_ = 0;
+  used_ = 0;
+  best_found_ = false;
+  out_of_budget_ = false;
+  best_obj_ = 0.0;
+  sol.bound = lower_bound(now_, 0u, 0);
+  dfs(0, now_);
+  std::copy(best_.begin(), best_.begin() + n_, sol.order.begin());
+  sol.objective = best_obj_;
+  sol.proved = !out_of_budget_;
+  sol.nodes = nodes_;
+  return sol;
+}
+
+double ExactWindowScheduler::evaluate_order(
+    const WindowProblem& p, std::span<const std::uint32_t> order) {
+  load(p);
+  if (order.size() != n_) {
+    throw std::invalid_argument("evaluate_order: order length mismatch");
+  }
+  std::uint32_t seen = 0;
+  for (const std::uint32_t j : order) {
+    if (j >= n_ || (seen & (1u << j))) {
+      throw std::invalid_argument("evaluate_order: not a permutation");
+    }
+    seen |= 1u << j;
+  }
+  double frontier = now_;
+  for (std::size_t d = 0; d < n_; ++d) {
+    const std::uint32_t j = order[d];
+    const double s = earliest_start(frontier, procs_[j], d);
+    start_[j] = s;
+    placed_end_[d] = s + run_[j];
+    placed_procs_[d] = procs_[j];
+    frontier = s;
+  }
+  return objective_of_starts();
+}
+
+WindowSolution ExactWindowScheduler::evaluate_greedy(
+    const WindowProblem& p, const sim::PriorityFn& priority) {
+  load(p);
+  WindowSolution sol;
+  sol.count = static_cast<std::uint32_t>(n_);
+  if (n_ == 0) return sol;
+  sol.bound = lower_bound(now_, 0u, 0);
+
+  // The env's serial decision loop without backfill: the clock at each
+  // decision is the previous job's start time, scores are recomputed
+  // there, and the strict-< scan lets the first (queue-order) minimum win.
+  double frontier = now_;
+  std::uint32_t used = 0;
+  for (std::size_t d = 0; d < n_; ++d) {
+    std::uint32_t pick = static_cast<std::uint32_t>(n_);
+    double best_score = 0.0;
+    for (std::uint32_t k = 0; k < n_; ++k) {
+      if (used & (1u << k)) continue;
+      const double score = priority(p.jobs[k], frontier);
+      if (pick == n_ || score < best_score) {
+        pick = k;
+        best_score = score;
+      }
+    }
+    const double s = earliest_start(frontier, procs_[pick], d);
+    start_[pick] = s;
+    placed_end_[d] = s + run_[pick];
+    placed_procs_[d] = procs_[pick];
+    sol.order[d] = pick;
+    used |= 1u << pick;
+    frontier = s;
+  }
+  sol.objective = objective_of_starts();
+  return sol;
+}
+
+double ExactWindowScheduler::root_bound(const WindowProblem& p) {
+  load(p);
+  return lower_bound(now_, 0u, 0);
+}
+
+// ---------------------------------------------------------------------------
+// ExactWindowPolicy — the solver as a sixth Heuristic-compatible baseline.
+
+ExactWindowPolicy::ExactWindowPolicy(const sim::SchedulingEnv& env,
+                                     ExactConfig cfg)
+    : env_(&env), solver_(cfg) {
+  const std::size_t procs = static_cast<std::size_t>(env.processors());
+  prob_.releases.reserve(procs);
+  prob_.jobs.reserve(kMaxExactWindow);
+  solver_.reserve(procs);
+}
+
+bool ExactWindowPolicy::plan_live() const {
+  const auto& jobs = env_->jobs();
+  for (std::uint32_t k = 0; k < plan_len_; ++k) {
+    if (plan_[k] < jobs.size() && !jobs[plan_[k]].scheduled()) return true;
+  }
+  return false;
+}
+
+void ExactWindowPolicy::maybe_replan() {
+  if (plan_len_ != 0 && plan_live()) return;
+  const auto win = env_->observable();
+  plan_len_ = 0;
+  if (win.empty()) return;
+  const std::size_t m = std::min(solver_.config().window, win.size());
+
+  prob_.now = env_->now();
+  prob_.processors = env_->processors();
+  prob_.free = env_->free_processors();
+  prob_.releases.clear();
+  for (const auto& c : env_->timeline().live()) {
+    prob_.releases.push_back(Release{c.end, c.procs});
+  }
+  prob_.jobs.clear();
+  const auto& jobs = env_->jobs();
+  for (std::size_t k = 0; k < m; ++k) prob_.jobs.push_back(jobs[win[k]]);
+
+  const WindowSolution sol = solver_.solve(prob_);
+  plan_len_ = sol.count;
+  for (std::uint32_t k = 0; k < sol.count; ++k) {
+    plan_[k] = win[sol.order[k]];
+  }
+  stats_.solves += 1;
+  stats_.proved += sol.proved ? 1u : 0u;
+  stats_.nodes += sol.nodes;
+  stats_.objective_sum += sol.objective;
+  stats_.bound_sum += sol.bound;
+}
+
+double ExactWindowPolicy::rank(const trace::Job& job) {
+  maybe_replan();
+  const auto idx =
+      static_cast<std::uint32_t>(&job - env_->jobs().data());
+  for (std::uint32_t k = 0; k < plan_len_; ++k) {
+    if (plan_[k] == idx) return static_cast<double>(k);
+  }
+  // Outside the plan: one large shared score; the scan's first-wins rule
+  // resolves it in queue order, but a live plan entry always outranks it.
+  return static_cast<double>(kMaxExactWindow) + 2.0;
+}
+
+sim::PriorityFn ExactWindowPolicy::priority() {
+  return [this](const trace::Job& job, double) { return rank(job); };
+}
+
+std::size_t ExactWindowPolicy::next_action() {
+  maybe_replan();
+  const auto win = env_->observable();
+  const auto& jobs = env_->jobs();
+  for (std::uint32_t k = 0; k < plan_len_; ++k) {
+    const std::uint32_t idx = plan_[k];
+    if (idx >= jobs.size() || jobs[idx].scheduled()) continue;
+    for (std::size_t pos = 0; pos < win.size(); ++pos) {
+      if (win[pos] == idx) return pos;
+    }
+    break;  // plan head vanished from the window: rebuild below
+  }
+  plan_len_ = 0;
+  maybe_replan();
+  if (plan_len_ != 0) {
+    for (std::size_t pos = 0; pos < win.size(); ++pos) {
+      if (win[pos] == plan_[0]) return pos;
+    }
+  }
+  return 0;
+}
+
+Heuristic exact_heuristic(ExactWindowPolicy& policy) {
+  return Heuristic{"EXACT", policy.priority(), ExactWindowPolicy::kKind};
+}
+
+}  // namespace rlsched::sched

@@ -1,0 +1,301 @@
+// Bounded-window exact scheduler (sched/exact.hpp) against ground truth:
+//  (1) hand-computed fixtures for the serial placement model (staircase
+//      waits, bounded-slowdown accumulation);
+//  (2) brute-force permutation cross-check on <=6-job windows — the
+//      branch-and-bound optimum must equal the enumerated optimum
+//      BITWISE, order included, for both objectives;
+//  (3) bound-admissibility fuzz: the root lower bound never exceeds the
+//      true optimum on 1k random windows;
+//  (4) node-budget fallback: an exhausted budget still returns a valid
+//      full schedule, flagged proved=false, objective >= bound;
+//  (5) greedy heuristic emulation is never better than the optimum;
+//  (6) the ExactWindowPolicy env adapter is deterministic and its
+//      priority-driven and step()-driven paths produce bitwise-identical
+//      schedules.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "sched/exact.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/env.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace rlsched;
+
+trace::Job make_job(std::int64_t id, double submit, double run, double req,
+                    int procs, int user = 0) {
+  trace::Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.run_time = run;
+  j.requested_time = req;
+  j.requested_procs = procs;
+  j.user = user;
+  return j;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Random standalone window: a 2..16-processor machine mid-flight (random
+/// free capacity, the busy remainder released over strictly increasing
+/// future completion times) and n pending jobs with submits at or before
+/// `now`. Capacity always returns to the full machine, so every job places.
+sched::WindowProblem random_window(util::Rng& rng, std::size_t n) {
+  sched::WindowProblem p;
+  p.processors = 2 + static_cast<std::int32_t>(rng.below(15));
+  p.free = static_cast<std::int32_t>(
+      rng.below(static_cast<std::uint64_t>(p.processors) + 1));
+  p.now = rng.uniform(0.0, 1000.0);
+  std::int32_t busy = p.processors - p.free;
+  double t = p.now;
+  while (busy > 0) {
+    const std::int32_t r =
+        1 + static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(busy)));
+    t += rng.uniform(1.0, 300.0);
+    p.releases.push_back({t, r});
+    busy -= r;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double run = rng.uniform(0.0, 400.0);
+    p.jobs.push_back(make_job(
+        static_cast<std::int64_t>(k), p.now - rng.uniform(0.0, 500.0), run,
+        run * (1.0 + rng.uniform()),
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(p.processors))),
+        static_cast<int>(rng.below(4))));
+  }
+  return p;
+}
+
+struct Brute {
+  double objective = 0.0;
+  std::vector<std::uint32_t> order;
+};
+
+/// Strict-< lexicographic enumeration — the reference optimum.
+Brute brute_force(sched::ExactWindowScheduler& s,
+                  const sched::WindowProblem& p) {
+  std::vector<std::uint32_t> idx(p.jobs.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  Brute best;
+  bool first = true;
+  do {
+    const double v = s.evaluate_order(p, idx);
+    if (first || v < best.objective) {
+      best.objective = v;
+      best.order = idx;
+      first = false;
+    }
+  } while (std::next_permutation(idx.begin(), idx.end()));
+  return best;
+}
+}  // namespace
+
+int main() {
+  using namespace rlsched;
+
+  // ---------- hand-computed placement fixtures ----------
+  {
+    // One busy processor machine: P=1, free=1, no releases. Jobs: #0 runs
+    // 100s, #1 runs 2s, both submitted at t=0. Serial placement:
+    //   [0,1]: s0=0 -> bsld0 = 100/100 = 1; s1=100 -> (100+2)/10 = 10.2
+    //          => total 11.2
+    //   [1,0]: s1=0 -> bsld1 = max(1, 2/10) = 1; s0=2 -> 102/100 = 1.02
+    //          => total 2.02  (the optimum; SJF order)
+    sched::WindowProblem p;
+    p.processors = 1;
+    p.free = 1;
+    p.jobs.push_back(make_job(0, 0.0, 100.0, 100.0, 1));
+    p.jobs.push_back(make_job(1, 0.0, 2.0, 2.0, 1));
+
+    sched::ExactWindowScheduler s(
+        {.window = 8, .max_nodes = 0,
+         .objective = sched::ExactObjective::TotalBoundedSlowdown});
+    const std::array<std::uint32_t, 2> fwd{0, 1}, rev{1, 0};
+    CHECK_NEAR(s.evaluate_order(p, fwd), 11.2, 1e-12);
+    CHECK_NEAR(s.evaluate_order(p, rev), 2.02, 1e-12);
+
+    const auto sol = s.solve(p);
+    CHECK(sol.proved);
+    CHECK(sol.count == 2);
+    CHECK(sol.order[0] == 1 && sol.order[1] == 0);
+    CHECK_NEAR(sol.objective, 2.02, 1e-12);
+    CHECK(sol.bound <= sol.objective + 1e-12);
+  }
+  {
+    // Staircase wait: P=4, 2 free now, 2 more released at t=5. A 4-proc
+    // job submitted at 0 with run 20 cannot start before t=5:
+    //   bsld = (5 + 20) / 20 = 1.25.
+    sched::WindowProblem p;
+    p.now = 0.0;
+    p.processors = 4;
+    p.free = 2;
+    p.releases.push_back({5.0, 2});
+    p.jobs.push_back(make_job(0, 0.0, 20.0, 20.0, 4));
+    sched::ExactWindowScheduler s;
+    const std::array<std::uint32_t, 1> one{0};
+    CHECK_NEAR(s.evaluate_order(p, one), 1.25, 1e-12);
+    const auto sol = s.solve(p);
+    CHECK(sol.proved && sol.count == 1);
+    CHECK_NEAR(sol.objective, 1.25, 1e-12);
+  }
+
+  // ---------- brute-force cross-check, both objectives ----------
+  for (const auto objective : {sched::ExactObjective::TotalBoundedSlowdown,
+                               sched::ExactObjective::Makespan}) {
+    sched::ExactWindowScheduler s(
+        {.window = 8, .max_nodes = 0, .objective = objective});
+    util::Rng rng = util::Rng::substream(
+        1234, objective == sched::ExactObjective::Makespan ? 1 : 0);
+    for (int w = 0; w < 150; ++w) {
+      const std::size_t n = 1 + rng.below(6);  // 1..6 jobs
+      const auto p = random_window(rng, n);
+      const Brute ref = brute_force(s, p);
+      const auto sol = s.solve(p);
+      CHECK(sol.proved);
+      CHECK(sol.count == n);
+      CHECK(same_bits(sol.objective, ref.objective));
+      for (std::size_t k = 0; k < n; ++k) CHECK(sol.order[k] == ref.order[k]);
+      // The reported objective is the incumbent's own accumulation:
+      // replaying the returned order must reproduce it bitwise.
+      CHECK(same_bits(
+          s.evaluate_order(p, std::span(sol.order).first(n)), sol.objective));
+    }
+  }
+
+  // ---------- bound admissibility fuzz: 1k random windows ----------
+  {
+    std::uint64_t stream = 7;
+    for (const auto objective : {sched::ExactObjective::TotalBoundedSlowdown,
+                                 sched::ExactObjective::Makespan}) {
+      sched::ExactWindowScheduler s(
+          {.window = 8, .max_nodes = 0, .objective = objective});
+      util::Rng rng = util::Rng::substream(99, stream++);
+      for (int w = 0; w < 500; ++w) {
+        const auto p = random_window(rng, 2 + rng.below(5));
+        const auto sol = s.solve(p);
+        CHECK(sol.proved);
+        // Tiny absolute+relative slack: bound and objective sum terms in
+        // different orders, so last-ulp rounding may differ.
+        const double slack = 1e-9 * (1.0 + std::fabs(sol.objective));
+        CHECK(s.root_bound(p) <= sol.objective + slack);
+        CHECK(same_bits(s.root_bound(p), sol.bound));
+      }
+    }
+  }
+
+  // ---------- node-budget fallback ----------
+  {
+    sched::ExactWindowScheduler cheap(
+        {.window = 8, .max_nodes = 10,
+         .objective = sched::ExactObjective::TotalBoundedSlowdown});
+    util::Rng rng = util::Rng::substream(4242, 0);
+    const auto p = random_window(rng, 8);
+    const auto sol = cheap.solve(p);
+    CHECK(!sol.proved);  // 8 jobs cannot be proved in 10 placements
+    CHECK(sol.count == 8);
+    // Valid full schedule: the order is a permutation and replaying it
+    // reproduces the reported objective exactly.
+    std::uint32_t seen = 0;
+    for (std::size_t k = 0; k < 8; ++k) {
+      CHECK(sol.order[k] < 8);
+      CHECK(!(seen & (1u << sol.order[k])));
+      seen |= 1u << sol.order[k];
+    }
+    CHECK(same_bits(cheap.evaluate_order(p, std::span(sol.order).first(8)),
+                    sol.objective));
+    CHECK(sol.bound <= sol.objective + 1e-9 * (1.0 + sol.objective));
+
+    // The same window with an unlimited budget proves, and the proved
+    // optimum never exceeds the budgeted incumbent.
+    sched::ExactWindowScheduler full(
+        {.window = 8, .max_nodes = 0,
+         .objective = sched::ExactObjective::TotalBoundedSlowdown});
+    const auto opt = full.solve(p);
+    CHECK(opt.proved);
+    CHECK(opt.objective <= sol.objective);
+    CHECK(opt.nodes > sol.nodes);
+  }
+
+  // ---------- greedy emulation is never better than the optimum ----------
+  {
+    sched::ExactWindowScheduler s(
+        {.window = 8, .max_nodes = 0,
+         .objective = sched::ExactObjective::TotalBoundedSlowdown});
+    util::Rng rng = util::Rng::substream(31337, 0);
+    for (int w = 0; w < 100; ++w) {
+      const auto p = random_window(rng, 2 + rng.below(5));
+      const auto opt = s.solve(p);
+      for (const auto& h : sched::all_heuristics()) {
+        const auto g = s.evaluate_greedy(p, h.priority);
+        CHECK(!g.proved);
+        CHECK(g.objective >= opt.objective);  // same arithmetic: exact >=
+        CHECK(same_bits(g.bound, opt.bound));
+      }
+      // FCFS greedy on an all-distinct-submit window is the submit order.
+      auto q = p;
+      std::sort(q.jobs.begin(), q.jobs.end(),
+                [](const trace::Job& a, const trace::Job& b) {
+                  return a.submit_time < b.submit_time;
+                });
+      const auto g = s.evaluate_greedy(q, sched::fcfs_priority());
+      for (std::uint32_t k = 0; k < g.count; ++k) CHECK(g.order[k] == k);
+    }
+  }
+
+  // ---------- env adapter: deterministic, priority == step() path ----------
+  {
+    util::Rng rng = util::Rng::substream(2020, 0);
+    std::vector<trace::Job> jobs;
+    double submit = 0.0;
+    for (int i = 0; i < 80; ++i) {
+      submit += rng.exponential(30.0);
+      const double run = rng.uniform(1.0, 600.0);
+      jobs.push_back(make_job(i, submit, run, run * 1.5,
+                              1 + static_cast<int>(rng.below(16)),
+                              static_cast<int>(rng.below(5))));
+    }
+
+    sim::SchedulingEnv env(16);
+    sched::ExactWindowPolicy pol(
+        env, {.window = 6, .max_nodes = 20000,
+              .objective = sched::ExactObjective::TotalBoundedSlowdown});
+
+    env.reset(jobs);
+    pol.rearm();
+    const auto r1 = env.run_priority(pol.priority(), pol.kKind);
+    CHECK(r1.jobs == jobs.size());
+    CHECK(pol.stats().solves > 0);
+    CHECK(pol.stats().proved == pol.stats().solves);  // budget is ample
+    CHECK(pol.stats().bound_sum <=
+          pol.stats().objective_sum + 1e-9 * (1.0 + pol.stats().objective_sum));
+
+    env.reset(jobs);
+    pol.rearm();
+    const auto r2 = env.run_priority(pol.priority(), pol.kKind);
+    CHECK(sim::bitwise_equal(r1, r2));
+
+    env.reset(jobs);
+    pol.rearm();
+    bool done = false;
+    while (!done) done = env.step(pol.next_action());
+    CHECK(sim::bitwise_equal(r1, env.result()));
+
+    // The packaged Heuristic row drives the same schedule.
+    env.reset(jobs);
+    pol.rearm();
+    const auto h = sched::exact_heuristic(pol);
+    CHECK(h.name == "EXACT");
+    CHECK(sim::bitwise_equal(r1, env.run_priority(h.priority, h.kind)));
+  }
+
+  std::printf("test_exact_window: all checks passed\n");
+  return 0;
+}
