@@ -288,6 +288,8 @@ struct LoadResult {
   std::size_t sessions = 0;
   std::size_t submitted = 0;
   std::size_t completed = 0;
+  std::size_t shed = 0;       ///< kResourceExhausted completions (overload)
+  std::size_t cancelled = 0;  ///< kCancelled completions
   double dps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -616,6 +618,110 @@ LoadResult run_open_loop(
   return out;
 }
 
+/// The overload row: Poisson arrivals OFFERED ABOVE CAPACITY (the caller
+/// passes ~1.5x the measured closed-loop rate) into a daemon with a
+/// BOUNDED per-shard queue and the shed-oldest admission policy. A healthy
+/// overloaded server degrades gracefully: the excess is shed as delivered
+/// kResourceExhausted completions, the accepted requests see a p99 bounded
+/// by the queue depth (not by the unbounded backlog an uncontrolled queue
+/// would grow), and the books balance exactly:
+/// completed + shed + cancelled == submitted. p50/p99 here are over
+/// ACCEPTED (served-OK) requests only — the shed ones by definition got a
+/// near-instant answer.
+LoadResult run_overload(
+    const std::vector<std::unique_ptr<rl::Policy>>& policies,
+    std::size_t batch, std::size_t dispatchers,
+    const std::vector<std::vector<trace::Job>>& seq_pool, int processors,
+    std::size_t nsessions, std::size_t nrequests, double rate,
+    std::uint64_t seed) {
+  serve::DaemonConfig cfg;
+  cfg.runtime.workers = 1;
+  cfg.runtime.batch = batch;
+  cfg.dispatchers = dispatchers;
+  cfg.max_queue_depth = 4 * batch;  // per shard: the graceful-degradation knob
+  cfg.shed_policy = serve::ShedPolicy::kShedOldest;
+  serve::Daemon daemon(cfg);
+  std::vector<std::uint32_t> pids;
+  for (const auto& p : policies) pids.push_back(daemon.register_policy(*p));
+  daemon.start();
+
+  std::vector<serve::SessionId> sessions(nsessions);
+  for (std::size_t i = 0; i < nsessions; ++i) {
+    serve::SessionConfig sc;
+    sc.processors = processors;
+    sc.policy = pids[i % pids.size()];
+    auto sid = daemon.create_session(sc);
+    if (!sid.ok()) die("create_session", sid.status());
+    sessions[i] = sid.value();
+  }
+
+  util::Rng rng(seed ^ 0x0E41ULL);
+  std::vector<double> arrival(nrequests);
+  double t = 0.0;
+  for (std::size_t i = 0; i < nrequests; ++i) {
+    t += -std::log(1.0 - rng.uniform()) / rate;
+    arrival[i] = t;
+  }
+
+  std::vector<double> submit_lag(nrequests, 0.0);
+  std::vector<serve::RequestId> requests(nrequests);
+  const serve::DaemonStats before = daemon.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < nrequests; ++i) {
+    const auto due = t0 + std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(arrival[i]));
+    std::this_thread::sleep_until(due);
+    core::ScheduleRequest req;
+    req.jobs = &seq_pool[i % seq_pool.size()];
+    req.backfill = true;
+    const double now = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    submit_lag[i] = std::max(0.0, now - arrival[i]);
+    // Shed-oldest NEVER bounces the new arrival — older queued work pays.
+    auto rid = daemon.submit(sessions[i % nsessions], req);
+    if (!rid.ok()) die("submit", rid.status());
+    requests[i] = rid.value();
+  }
+
+  LoadResult out;
+  out.sessions = nsessions;
+  out.submitted = nrequests;
+  out.rate_rps = rate;
+  std::vector<double> accepted;
+  accepted.reserve(nrequests);
+  for (std::size_t i = 0; i < nrequests; ++i) {
+    serve::Completion c;
+    const core::Status s = daemon.wait(requests[i], &c);
+    if (!s.ok()) die("wait", s);
+    if (c.status.ok()) {
+      ++out.completed;
+      accepted.push_back(submit_lag[i] + c.latency_seconds);
+    } else if (c.status.code() == core::StatusCode::kResourceExhausted) {
+      ++out.shed;
+    } else if (c.status.code() == core::StatusCode::kCancelled) {
+      ++out.cancelled;
+    } else {
+      die("overload completion", c.status);
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  daemon.stop();
+  const serve::DaemonStats after = daemon.stats();
+  // The daemon's own books must agree with what the bench observed.
+  if (after.requests_shed - before.requests_shed != out.shed ||
+      out.completed + out.shed + out.cancelled != out.submitted) {
+    std::fprintf(stderr, "FATAL: overload accounting diverged: "
+                 "%zu completed + %zu shed + %zu cancelled != %zu submitted\n",
+                 out.completed, out.shed, out.cancelled, out.submitted);
+    std::exit(1);
+  }
+  finish_result(out, accepted, elapsed, before, after);
+  return out;
+}
+
 bool bitwise_runs_equal(const std::vector<sim::RunResult>& a,
                         const std::vector<sim::RunResult>& b) {
   if (a.size() != b.size()) return false;
@@ -745,6 +851,26 @@ int main(int argc, char** argv) {
       print_row(r);
       results.push_back(std::move(r));
     }
+    if (want_inproc) {
+      // Overload: offer 1.5x the measured capacity into a bounded queue
+      // with shed-oldest admission. Gated on graceful degradation: sheds
+      // happen (kResourceExhausted), accepted-request p99 stays bounded by
+      // the queue depth, and completed + shed + cancelled == submitted.
+      const std::size_t ov_sessions = opt.sessions.front();
+      const std::size_t ov_requests =
+          std::min<std::size_t>(opt.ol_requests, 10000);
+      LoadResult r = run_overload(policies, opt.batch, opt.dispatchers,
+                                  seq_pool, procs, ov_sessions, ov_requests,
+                                  1.5 * capacity_rps, opt.seed);
+      r.name = "ov_s" + std::to_string(ov_sessions);
+      print_row(r);
+      std::fprintf(stderr,
+                   "%-16s overload accounting: %zu ok + %zu shed + %zu "
+                   "cancelled == %zu offered\n",
+                   r.name.c_str(), r.completed, r.shed, r.cancelled,
+                   r.submitted);
+      results.push_back(std::move(r));
+    }
   }
 
   if (opt.json) {
@@ -762,9 +888,10 @@ int main(int argc, char** argv) {
       std::printf(
           "    \"%s\": {\"dps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": "
           "%.4f, \"windows_per_forward\": %.3f, \"rate_rps\": %.1f, "
-          "\"submitted\": %zu, \"completed\": %zu}%s\n",
+          "\"submitted\": %zu, \"completed\": %zu, \"shed\": %zu, "
+          "\"cancelled\": %zu}%s\n",
           r.name.c_str(), r.dps, r.p50_ms, r.p99_ms, r.windows_per_forward,
-          r.rate_rps, r.submitted, r.completed,
+          r.rate_rps, r.submitted, r.completed, r.shed, r.cancelled,
           i + 1 < results.size() ? "," : "");
     }
     std::printf("  }\n}\n");

@@ -42,6 +42,11 @@ struct ScheduleRequest {
   bool backfill = false;
   /// Streamed ingestion chunk (stream source only).
   std::size_t chunk_jobs = 4096;
+  /// Optional completion deadline, in seconds relative to submission;
+  /// 0 = no deadline. An expired request completes with kDeadlineExceeded
+  /// instead of a result: rejected at admission if it expired while queued,
+  /// abandoned between inference steps if it expires mid-dispatch.
+  double deadline_seconds = 0.0;
 };
 
 struct ScheduleResult {

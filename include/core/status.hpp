@@ -26,7 +26,13 @@ enum class StatusCode : std::uint8_t {
   kUnavailable,         ///< result not ready yet — poll again
   kCancelled,           ///< session destroyed while the request was queued
   kInternal,            ///< engine invariant violation (bug, not bad input)
+  kDeadlineExceeded,    ///< request deadline expired before completion
+  kAborted,             ///< gave up after retries (client-side terminal)
 };
+
+/// Largest defined StatusCode — the wire decoder's bounds check. Update in
+/// lockstep when a new enumerator is appended.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kAborted;
 
 const char* status_code_name(StatusCode code);
 

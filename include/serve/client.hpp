@@ -10,30 +10,81 @@
 // send_schedule()/recv_completion() supports the open-loop bench split:
 // one submitter thread sending (sends are serialized internally), one
 // collector thread receiving — never more than one reader.
+//
+// RESILIENCE (opt-in via ClientConfig): with retry.max_attempts > 0 the
+// blocking verbs survive transport failures — jittered exponential-backoff
+// retry keyed off a deterministic RNG substream (tests replay exactly per
+// seed), reconnect/failover round-robin across the connect() endpoint
+// list, and SESSION VIRTUALIZATION: the ids this client hands out are
+// local, mapped to whatever the current server issued, and every tracked
+// session is re-created on the new server after a failover, so a session
+// handle stays valid across server deaths. Retried verbs are the
+// idempotent ones (see docs/wire-protocol.md): schedule/submit re-execute
+// deterministically, create is made safe by virtualization, destroy is
+// idempotent up to kNotFound. RequestIds are NOT virtualized: a pre-
+// failover id answers kNotFound on the new server (prefer schedule()).
+// When retries exhaust, the verb returns kAborted and the connection is
+// closed. The default config (max_attempts == 0) changes nothing.
 
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/api.hpp"
 #include "core/status.hpp"
 #include "serve/daemon.hpp"
+#include "serve/fault.hpp"
 #include "serve/wire.hpp"
 
 namespace rlsched::serve {
 
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Jittered exponential backoff; max_attempts == 0 disables resilience
+/// entirely (single attempt, no virtualization — the pre-resilience
+/// contract, and the default).
+struct RetryPolicy {
+  int max_attempts = 0;  ///< total tries per verb, incl. the first
+  double initial_backoff_seconds = 0.001;
+  double max_backoff_seconds = 0.1;
+  double multiplier = 2.0;
+  /// Substream key for the jitter: retries replay exactly per seed.
+  std::uint64_t seed = 1;
+};
+
+struct ClientConfig {
+  /// 0 = OS default blocking connect; else nonblocking connect + poll.
+  double connect_timeout_seconds = 0.0;
+  /// 0 = no timeout; else SO_RCVTIMEO/SO_SNDTIMEO on the socket — a stalled
+  /// peer surfaces as a transport error (retried when resilient).
+  double io_timeout_seconds = 0.0;
+  RetryPolicy retry;
+};
+
 class Client {
  public:
   Client() = default;
+  explicit Client(ClientConfig cfg) : cfg_(std::move(cfg)) {}
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   core::Status connect(const std::string& host, std::uint16_t port);
+  /// Failover pool: connects to the first reachable endpoint; resilient
+  /// retries rotate round-robin from the current one.
+  core::Status connect(std::vector<Endpoint> endpoints);
   void close();
   bool connected() const { return fd_ >= 0; }
+
+  /// Wire this client's I/O through a fault injector (tests). Null resets
+  /// to the raw syscalls. Set before issuing verbs.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
   // --- blocking verbs (one outstanding op per client) ---
   core::StatusOr<SessionId> create_session(const SessionConfig& cfg);
@@ -64,13 +115,46 @@ class Client {
   core::Status recv_reply(wire::Header* header, core::Status* status);
 
  private:
+  /// A tracked (virtualized) session: what to re-create after failover,
+  /// and the id the CURRENT server knows it by.
+  struct Tracked {
+    SessionConfig cfg;
+    SessionId remote;
+  };
+
+  bool resilient() const { return cfg_.retry.max_attempts > 0; }
   core::Status send_all(const std::uint8_t* data, std::size_t len);
   core::Status recv_frame(wire::Header* header,
                           std::vector<std::uint8_t>* payload);
 
+  core::Status connect_fd(const std::string& host, std::uint16_t port);
+  core::Status reconnect();
+  core::Status reestablish_sessions();
+  core::Status translate(SessionId local, SessionId* remote) const;
+  void backoff_sleep(int attempt);
+  template <typename Op>
+  core::Status with_retry(const Op& op);
+
+  // Single-attempt verb bodies (remote ids, no retry).
+  core::StatusOr<SessionId> create_session_once(const SessionConfig& cfg);
+  core::Status destroy_session_once(SessionId id);
+  core::StatusOr<RequestId> submit_once(SessionId id,
+                                        const core::ScheduleRequest& request);
+  core::Status take_once(wire::MsgType type, RequestId id, Completion* out);
+  core::Status schedule_once(SessionId id,
+                             const core::ScheduleRequest& request,
+                             core::ScheduleResult* out);
+
   int fd_ = -1;
   std::mutex send_mu_;
   std::uint64_t next_tag_ = 1;
+  ClientConfig cfg_;
+  FaultInjector* fault_ = nullptr;
+  std::vector<Endpoint> endpoints_;
+  std::size_t current_endpoint_ = 0;
+  std::unordered_map<std::uint32_t, Tracked> sessions_;  ///< resilient only
+  std::uint32_t next_local_index_ = 0;
+  std::uint64_t backoff_stream_ = 0;  ///< substream counter for jitter
 };
 
 }  // namespace rlsched::serve

@@ -67,6 +67,7 @@
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/api.hpp"
@@ -99,6 +100,13 @@ struct RequestId {
   std::uint64_t value = 0;  ///< 0 = invalid
 };
 
+/// What submit() does when a shard's queue sits at max_queue_depth.
+enum class ShedPolicy : std::uint8_t {
+  kRejectNew,   ///< refuse the incoming submit with kResourceExhausted
+  kShedOldest,  ///< complete the shard's oldest queued request as
+                ///< kResourceExhausted, then accept the new one
+};
+
 struct DaemonConfig {
   /// runtime.batch = cross-session windows per batched policy forward
   /// (0 defers to RLSCHED_BATCH, then the built-in default — the same
@@ -110,6 +118,16 @@ struct DaemonConfig {
   /// Dispatcher shards (0 is treated as 1). Policy id p executes on shard
   /// p % dispatchers; see the sharding contract in the header comment.
   std::size_t dispatchers = 1;
+  /// Per-shard bound on QUEUED (admissible, not yet executing) requests;
+  /// 0 = unbounded. At the bound, submit() applies shed_policy — overload
+  /// degrades to explicit kResourceExhausted answers instead of unbounded
+  /// queue growth and unbounded tail latency.
+  std::size_t max_queue_depth = 0;
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  /// ~Daemon() drain budget: how long destruction keeps serving queued
+  /// work (on the destroying thread) before cancelling the remainder.
+  /// 0 = cancel queued work immediately. See shutdown().
+  double drain_deadline_seconds = 0.0;
 };
 
 struct DaemonStats {
@@ -117,9 +135,16 @@ struct DaemonStats {
   std::uint64_t sessions_destroyed = 0;
   std::uint64_t live_sessions = 0;
   std::uint64_t requests_submitted = 0;
-  std::uint64_t requests_completed = 0;  ///< includes failed, not cancelled
+  /// Invariant (gated by tests and the perf gate): requests_submitted ==
+  /// requests_completed + requests_cancelled + requests_shed, at every
+  /// quiescent point INCLUDING after shutdown()/destruction.
+  std::uint64_t requests_completed = 0;  ///< incl. failed; not cancelled/shed
   std::uint64_t requests_failed = 0;     ///< completed with a non-OK status
-  std::uint64_t requests_cancelled = 0;  ///< dropped by destroy_session
+  std::uint64_t requests_cancelled = 0;  ///< destroy_session or shutdown()
+  std::uint64_t requests_shed = 0;       ///< kResourceExhausted under overload
+  std::uint64_t requests_rejected = 0;   ///< refused at submit (reject-new;
+                                         ///< never counted as submitted)
+  std::uint64_t requests_expired = 0;    ///< completed as kDeadlineExceeded
   std::uint64_t episodes = 0;            ///< sequences scheduled
   std::uint64_t decisions = 0;           ///< env steps taken
   std::uint64_t forwards = 0;            ///< batched policy forwards
@@ -139,7 +164,10 @@ struct Completion {
 class Daemon {
  public:
   explicit Daemon(DaemonConfig cfg = {});
-  ~Daemon();  ///< stop()s the dispatchers; queued requests are dropped
+  /// shutdown(cfg.drain_deadline_seconds): stops the dispatchers, drains
+  /// within the configured budget, then delivers kCancelled for whatever
+  /// is still queued — accounting balances across destruction.
+  ~Daemon();
 
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
@@ -194,10 +222,19 @@ class Daemon {
   core::StatusOr<std::size_t> drain();
 
   /// Start / stop the background dispatcher threads (one per shard).
-  /// stop() is clean shutdown: in-flight batches finish, queued work stays
-  /// queued.
+  /// stop() is clean PAUSE: in-flight batches finish, queued work stays
+  /// queued (a later start()/drain() serves it).
   void start();
   void stop();
+
+  /// Terminal shutdown with delivery guarantees: stop(), then serve queued
+  /// work on the CALLING thread for up to drain_deadline_seconds, then
+  /// complete every request still queued as kCancelled. Nothing is ever
+  /// silently dropped: after shutdown(), submitted == completed +
+  /// cancelled + shed. Sessions stay live (their handles remain valid);
+  /// a budget of 0 cancels all queued work immediately and
+  /// deterministically.
+  void shutdown(double drain_deadline_seconds);
 
   /// Observer fired inside complete_locked for every finished (or
   /// cancelled) request, with the daemon mutex HELD: the hook must not
@@ -220,6 +257,11 @@ class Daemon {
     bool backfill = false;
     std::size_t chunk_jobs = 4096;
     std::chrono::steady_clock::time_point submitted;
+    /// Absolute completion deadline; time_point::max() = none. Enforced at
+    /// admission (expired work never attaches an env) and between
+    /// inference steps (an expired in-flight episode is abandoned).
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   struct Slot {
@@ -250,6 +292,12 @@ class Daemon {
     std::size_t id = 0;               ///< index into shards_
     std::deque<std::uint32_t> ready;  ///< mu_-guarded
     std::size_t queued = 0;           ///< mu_-guarded admissible requests
+    /// mu_-guarded shard-wide submission order, maintained only under
+    /// ShedPolicy::kShedOldest with a queue bound: (slot index, request
+    /// id) pairs let shed_oldest_locked find the oldest queued request in
+    /// amortized O(1). Entries whose request already left its queue are
+    /// stale and skipped; periodic compaction bounds the memory.
+    std::deque<std::pair<std::uint32_t, std::uint64_t>> fifo;
     std::condition_variable work_cv;  ///< paired with mu_
     std::thread thread;
 
@@ -272,8 +320,11 @@ class Daemon {
   void dispatcher_loop(Shard& shard);
 
   // All of the following run on a shard (under its dispatch_mu).
-  std::size_t run_until_idle(Shard& shard);
+  std::size_t run_until_idle(
+      Shard& shard, std::chrono::steady_clock::time_point deadline =
+                        std::chrono::steady_clock::time_point::max());
   void admit_ready_sessions(Shard& shard);
+  bool shed_oldest_locked(Shard& shard);  ///< mu_ held
   bool activate(Shard& shard, Slot& slot);  ///< false = request finished
   void step_active_once(Shard& shard);
   static bool any_active(const Shard& shard);
@@ -287,6 +338,9 @@ class Daemon {
 
   const std::size_t batch_;
   const std::size_t max_sessions_;
+  const std::size_t max_queue_depth_;
+  const ShedPolicy shed_policy_;
+  const double drain_deadline_seconds_;
 
   mutable std::mutex mu_;  ///< session table, queues, completions, stats
   std::condition_variable done_cv_;  ///< wait() wakeup

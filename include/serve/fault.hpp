@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic fault injection for the serve:: I/O paths. A FaultPlan
+// names, per syscall site, the probability of each injected failure mode;
+// a FaultInjector owns the plan plus per-site operation counters and turns
+// (seed, site, op#) into a reproducible decision through the splitmix64
+// finalizer — the SAME plan and seed replay the SAME faults regardless of
+// thread interleaving, so every chaos test in tests/test_serve_faults.cpp
+// is exact per RLSCHED_FAULT_SEED.
+//
+// Integration is opt-in and zero-cost when unset: serve::Client and
+// serve::Server route every send()/recv() through the inline fault_send /
+// fault_recv wrappers, whose first instruction is a null check on the
+// injector pointer — the production path pays one predictable branch and
+// touches none of this machinery.
+//
+// Injected failure modes (decided per operation, mutually exclusive,
+// evaluated in this cumulative order):
+//   disconnect  shutdown(SHUT_RDWR) the socket. On a send of more than one
+//               byte, HALF the bytes are written first — a torn frame: the
+//               peer sees a valid prefix and then EOF mid-frame.
+//   eagain      report EAGAIN without touching the socket (storms arise
+//               naturally from per-op probability). Safe at every site:
+//               the client treats it as a lost connection (then retries),
+//               the server re-polls via epoll/POLLOUT.
+//   short_io    truncate the operation to 1 byte — the partial-write /
+//               partial-read paths must finish the frame in later calls.
+//   delay       sleep delay_us, then perform the operation normally
+//               (latency without corruption; shakes out ordering races).
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+#include <sys/types.h>
+
+namespace rlsched::serve {
+
+/// Probabilities in [0, 1] per I/O operation; their sum must be <= 1.
+/// All-zero (the default) injects nothing even when an injector is wired.
+struct FaultPlan {
+  std::uint64_t seed = 1;     ///< replay key (RLSCHED_FAULT_SEED in CI)
+  double disconnect = 0.0;    ///< torn frame / mid-request disconnect
+  double eagain = 0.0;        ///< spurious EAGAIN, no bytes moved
+  double short_io = 0.0;      ///< truncate the op to 1 byte
+  double delay = 0.0;         ///< delayed completion (sleep, then do it)
+  std::uint32_t delay_us = 100;
+};
+
+class FaultInjector {
+ public:
+  /// One counter stream per call site, so a decision depends only on
+  /// (seed, site, how many ops this site ran before) — never on what the
+  /// other sites did or which thread got there first.
+  enum class Site : std::uint8_t {
+    kClientSend = 0,
+    kClientRecv,
+    kServerSend,
+    kServerRecv,
+    kCount,
+  };
+
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Drop-in ::send / ::recv with the plan applied. Return/errno contract
+  /// matches the syscalls (injected EAGAIN returns -1 with errno set).
+  ssize_t send(Site site, int fd, const void* buf, std::size_t len,
+               int flags);
+  ssize_t recv(Site site, int fd, void* buf, std::size_t len, int flags);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  enum class Action : std::uint8_t {
+    kNone,
+    kDisconnect,
+    kEagain,
+    kShortIo,
+    kDelay,
+  };
+  Action decide(Site site);
+
+  FaultPlan plan_;
+  // Atomic: the server's event threads hit kServerSend/kServerRecv
+  // concurrently. The op-number SEQUENCE per site is still deterministic
+  // (fetch_add allocates each number exactly once); padded so concurrent
+  // sites don't false-share one cache line.
+  struct alignas(64) Counter {
+    std::atomic<std::uint64_t> ops{0};
+  };
+  Counter counters_[static_cast<std::size_t>(Site::kCount)];
+};
+
+/// Null-safe wrappers: the serve:: I/O paths call these unconditionally;
+/// without an injector they compile down to the raw syscall behind one
+/// predictable branch.
+ssize_t fault_send(FaultInjector* f, FaultInjector::Site site, int fd,
+                   const void* buf, std::size_t len, int flags);
+ssize_t fault_recv(FaultInjector* f, FaultInjector::Site site, int fd,
+                   void* buf, std::size_t len, int flags);
+
+}  // namespace rlsched::serve

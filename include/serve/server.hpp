@@ -48,6 +48,7 @@
 
 #include "core/status.hpp"
 #include "serve/daemon.hpp"
+#include "serve/fault.hpp"
 #include "serve/wire.hpp"
 
 namespace rlsched::serve {
@@ -56,6 +57,10 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral; Server::port() reports it
   std::size_t event_threads = 2;
+  /// Chaos-test hook (borrowed; must outlive the server): every socket
+  /// recv/send routes through it. Null — the default — is the raw-syscall
+  /// fast path.
+  FaultInjector* fault = nullptr;
 };
 
 class Server {
@@ -84,9 +89,15 @@ class Server {
   struct Conn {
     int fd = -1;
     std::atomic<bool> closed{false};
-    std::vector<std::uint8_t> rbuf;  ///< event-thread-owned (EPOLLONESHOT)
-    std::mutex mu;                   ///< write path + owned sessions
-    std::vector<SessionId> owned;    ///< destroyed when the conn closes
+    /// Held for the whole of handle_readable, guarding rbuf. EPOLLONESHOT
+    /// already serializes the handlers at the kernel level, so the lock is
+    /// uncontended — it exists to make the rearm→epoll_wait handoff between
+    /// event threads a real happens-before edge in the memory model (the
+    /// syscall pair provides no language-level ordering), not to arbitrate.
+    std::mutex read_mu;
+    std::vector<std::uint8_t> rbuf;
+    std::mutex mu;                 ///< write path + owned sessions
+    std::vector<SessionId> owned;  ///< destroyed when the conn closes
   };
   struct Route {
     std::shared_ptr<Conn> conn;

@@ -7,7 +7,8 @@
 // Frame layout (all integers little-endian):
 //
 //   offset 0   u32  payload_len   bytes after the header, <= kMaxPayloadBytes
-//   offset 4   u8   version       kVersion (1)
+//   offset 4   u8   version       kVersion (2; v1 lacked the request-body
+//                                 deadline field and is rejected)
 //   offset 5   u8   type          MsgType
 //   offset 6   u16  reserved      must be 0
 //   offset 8   u64  tag           client correlation id, echoed on the reply
@@ -42,6 +43,7 @@
 //                    streams are not wire-encodable (the client rejects
 //                    them locally — a JobSource lives in one process)
 //   i32 processors, u8 backfill, u64 chunk_jobs
+//   f64 deadline_seconds (0 = none; finite, >= 0 — new in version 2)
 //   u32 nseq, then per sequence: u32 njobs, njobs * Job
 //   Job = i64 id, f64 submit_time, f64 run_time, f64 requested_time,
 //         i32 requested_procs, i32 user, f64 start_time   (48 bytes)
@@ -68,7 +70,7 @@
 
 namespace rlsched::serve::wire {
 
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 16;
 /// A declared payload above this is rejected at the header, before any
 /// allocation: a corrupt or hostile length prefix must not OOM the server.
@@ -191,6 +193,7 @@ struct DecodedRequest {
   int processors = 0;
   bool backfill = false;
   std::size_t chunk_jobs = 4096;
+  double deadline_seconds = 0.0;
 
   /// A ScheduleRequest view into this object; valid while *this lives.
   core::ScheduleRequest view() const {
@@ -203,6 +206,7 @@ struct DecodedRequest {
     req.processors = processors;
     req.backfill = backfill;
     req.chunk_jobs = chunk_jobs;
+    req.deadline_seconds = deadline_seconds;
     return req;
   }
 };

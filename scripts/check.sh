@@ -28,10 +28,14 @@
 #                         bench_serve_load (session daemon, closed-loop
 #                         1k/10k bursts plus open-loop Poisson arrivals
 #                         over a 100k-session table, in-process AND over
-#                         loopback sockets: bitwise batch/shard/wire
-#                         invariance, no dropped requests, >= batch/2
-#                         windows packed per forward on closed-loop
-#                         rows). The perf build
+#                         loopback sockets, plus an overload row at
+#                         1.5x capacity into a bounded shed-oldest
+#                         queue: bitwise batch/shard/wire invariance,
+#                         completed+shed+cancelled == submitted on
+#                         every row, >= batch/2 windows packed per
+#                         forward on closed-loop rows, the overload
+#                         row must shed and its accepted p99 is
+#                         hard-capped). The perf build
 #                         configures -DRLSCHED_INDEX_STATS=ON so the
 #                         scaling bench reports (and the gate pins)
 #                         backfill node visits per query.
@@ -204,7 +208,7 @@ if [ -n "$PERF" ]; then
     > "$BUILD_DIR/bench_decision_latency.json"
   python3 scripts/perf_gate.py bench/baseline.json \
     "$BUILD_DIR/bench_decision_latency.json" --tolerance 0.25
-  step "serve daemon load gate (1k/10k closed + 100k open-loop, inproc + socket, bitwise batch/shard/wire invariance)"
+  step "serve daemon load gate (1k/10k closed + 100k open-loop + 1.5x overload shed, inproc + socket, bitwise invariance)"
   "$BUILD_DIR/bench/bench_serve_load" --sessions 1000,10000 --open-loop \
     --json > "$BUILD_DIR/bench_serve_load.json"
   python3 scripts/perf_gate.py bench/baseline.json \
@@ -226,11 +230,13 @@ fi
 step "ctest"
 if [ "$SANITIZE" = "thread" ]; then
   # TSan job: only the tests that exercise threads — the rollout pool,
-  # the serve daemon's dispatcher/client concurrency, and the socket
-  # server's accept/event/completion threads — the rest are
-  # single-threaded and already covered by the other jobs.
+  # the serve daemon's dispatcher/client concurrency, the socket
+  # server's accept/event/completion threads, and the fault-injection
+  # chaos suite (retry/failover races dispatcher threads against
+  # injected disconnects) — the rest are single-threaded and already
+  # covered by the other jobs.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'test_ppo_smoke|test_parallel_rollout|test_serve_daemon|test_serve_server'
+    -R 'test_ppo_smoke|test_parallel_rollout|test_serve_daemon|test_serve_server|test_serve_faults'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 fi

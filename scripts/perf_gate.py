@@ -502,10 +502,24 @@ def check_serve_load(baseline_doc, current_doc, tolerance):
             fail(f"metric '{name}' missing from current run")
             continue
 
-        if cur.get("completed") != cur.get("submitted"):
-            fail(f"{name}: only {cur.get('completed')} of "
-                 f"{cur.get('submitted')} requests completed — the daemon "
-                 f"dropped work")
+        # Exactly-once-or-cancelled accounting: every submitted request
+        # ends in exactly one terminal state. Pre-overload rows have zero
+        # shed/cancelled, so this is a strict generalization of the old
+        # completed == submitted gate.
+        completed = cur.get("completed", 0)
+        shed = cur.get("shed", 0)
+        cancelled = cur.get("cancelled", 0)
+        if completed + shed + cancelled != cur.get("submitted"):
+            fail(f"{name}: {completed} completed + {shed} shed + "
+                 f"{cancelled} cancelled != {cur.get('submitted')} "
+                 f"submitted — the daemon lost or double-counted work")
+
+        # The overload row must actually OVERLOAD: if nothing was shed the
+        # offered rate never exceeded capacity and the graceful-degradation
+        # path went untested.
+        if name.startswith("ov_") and shed == 0:
+            fail(f"{name}: overload row shed nothing — offered rate did "
+                 f"not exceed capacity, bounded-queue shedding untested")
 
         # Windows per forward is a pure algorithmic count (identical on
         # every host): near `batch` when cross-session batching engages,
@@ -513,10 +527,10 @@ def check_serve_load(baseline_doc, current_doc, tolerance):
         # Open-loop rows (ol_*/sock_ol_*) are exempt: Poisson arrivals are
         # sparse by design, so their honest windows/forward sits near 1
         # and only the completion accounting above gates them.
-        if name.startswith(("ol_", "sock_ol_")):
+        if name.startswith(("ol_", "sock_ol_", "ov_")):
             print(f"{name:16s} windows/forward "
                   f"{cur.get('windows_per_forward', 0.0):7.2f} "
-                  f"(open-loop row: no floor)")
+                  f"(open-loop/overload row: no floor)")
         else:
             wpf = cur.get("windows_per_forward", 0.0)
             status = "ok" if wpf >= floor else "FAIL"
@@ -528,7 +542,23 @@ def check_serve_load(baseline_doc, current_doc, tolerance):
                      f"at batch {batch})")
 
         warn_absolute(name, base, cur, ("dps",), tolerance)
-        if cur["p99_ms"] > base["p99_ms"] * (1.0 + tolerance):
+        if name.startswith("ov_"):
+            # Bounded-p99 HARD gate: the overload row exists to prove the
+            # bounded queue keeps accepted-request latency at
+            # depth x service-time instead of growing with the backlog. An
+            # unbounded-queue regression inflates p99 by orders of
+            # magnitude (it scales with the run length), so a generous 4x
+            # band over the baseline separates "slower host" from "queue
+            # no longer bounded".
+            ceiling = base["p99_ms"] * (1.0 + tolerance) * 4.0
+            status = "ok" if cur["p99_ms"] <= ceiling else "FAIL"
+            print(f"{name:16s} overload p99 {cur['p99_ms']:9.1f} ms "
+                  f"(gate <= {ceiling:.1f} ms) {status}")
+            if cur["p99_ms"] > ceiling:
+                fail(f"{name}: accepted-request p99 {cur['p99_ms']:.1f} ms "
+                     f"breached the bounded-queue ceiling {ceiling:.1f} ms "
+                     f"— shedding is no longer keeping latency bounded")
+        elif cur["p99_ms"] > base["p99_ms"] * (1.0 + tolerance):
             print(f"WARN: {name} p99 latency {cur['p99_ms']:.1f} ms is "
                   f"above the baseline {base['p99_ms']:.1f} ms band (host "
                   f"speed difference or real regression — the hard gates "

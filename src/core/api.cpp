@@ -1,5 +1,7 @@
 #include "core/api.hpp"
 
+#include <limits>
+
 #include "util/env.hpp"
 
 namespace rlsched::core {
@@ -22,6 +24,10 @@ const char* status_code_name(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }
@@ -46,6 +52,11 @@ Status validate(const ScheduleRequest& request) {
   if (request.stream != nullptr && request.chunk_jobs == 0) {
     return Status(StatusCode::kInvalidArgument,
                   "chunk_jobs must be >= 1 for streamed requests");
+  }
+  if (!(request.deadline_seconds >= 0.0) ||
+      request.deadline_seconds == std::numeric_limits<double>::infinity()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "deadline_seconds must be finite and >= 0 (0 = none)");
   }
   return Status::Ok();
 }

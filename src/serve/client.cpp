@@ -1,25 +1,35 @@
 #include "serve/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+
+#include "util/rng.hpp"
 
 namespace rlsched::serve {
 
+using core::ScheduleRequest;
+using core::ScheduleResult;
 using core::Status;
 using core::StatusCode;
 using core::StatusOr;
 
 namespace {
 
+constexpr const char kLostPrefix[] = "connection lost";
+
 Status lost(const char* what) {
   return Status(StatusCode::kUnavailable,
-                std::string("connection lost (") + what + ")");
+                std::string(kLostPrefix) + " (" + what + ")");
 }
 
 Status protocol(const char* what) {
@@ -27,14 +37,65 @@ Status protocol(const char* what) {
                 std::string("protocol violation from server: ") + what);
 }
 
+/// A failure the retry layer may act on: the connection died (or timed
+/// out) mid-verb. Both producers live in this file — lost() and the
+/// connect path — and both speak kUnavailable; payload-level kUnavailable
+/// (e.g. try_take "request pending") is decoded from a healthy reply and
+/// never carries the transport prefix.
+bool transport_error(const Status& s) {
+  return s.code() == StatusCode::kUnavailable &&
+         s.message().compare(0, sizeof(kLostPrefix) - 1, kLostPrefix) == 0;
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec = static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) *
+                                 1e9);
+  nanosleep(&ts, nullptr);
+}
+
+void set_io_timeout(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 Client::~Client() { close(); }
 
 Status Client::connect(const std::string& host, std::uint16_t port) {
+  return connect(std::vector<Endpoint>{{host, port}});
+}
+
+Status Client::connect(std::vector<Endpoint> endpoints) {
   if (fd_ >= 0) {
     return Status(StatusCode::kFailedPrecondition, "already connected");
   }
+  if (endpoints.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty endpoint list");
+  }
+  endpoints_ = std::move(endpoints);
+  Status last = lost("no endpoint reachable");
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    Status s = connect_fd(endpoints_[i].host, endpoints_[i].port);
+    if (s.ok()) {
+      current_endpoint_ = i;
+      return s;
+    }
+    if (s.code() == StatusCode::kInvalidArgument) return s;  // bad host text
+    last = std::move(s);
+  }
+  return last;
+}
+
+Status Client::connect_fd(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status(StatusCode::kInternal,
@@ -48,14 +109,51 @@ Status Client::connect(const std::string& host, std::uint16_t port) {
     return Status(StatusCode::kInvalidArgument,
                   "unparseable server host: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (cfg_.connect_timeout_seconds > 0.0) {
+    // Bounded connect: nonblocking connect, poll for writability, read the
+    // socket error, then restore blocking mode for the verb I/O.
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int timeout_ms =
+          static_cast<int>(cfg_.connect_timeout_seconds * 1000.0);
+      rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : 1);
+      if (rc <= 0) {
+        ::close(fd);
+        return lost("connect timeout");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ::close(fd);
+        return Status(StatusCode::kUnavailable,
+                      std::string(kLostPrefix) + " (connect: " +
+                          std::strerror(err) + ")");
+      }
+    } else if (rc != 0) {
+      const int e = errno;
+      ::close(fd);
+      return Status(StatusCode::kUnavailable,
+                    std::string(kLostPrefix) + " (connect: " +
+                        std::strerror(e) + ")");
+    }
+    ::fcntl(fd, F_SETFL, fl);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     const int e = errno;
     ::close(fd);
+    // Same transport-error shape as the timeout path: the retry layer
+    // must keep cycling endpoints while a peer is down.
     return Status(StatusCode::kUnavailable,
-                  std::string("connect: ") + std::strerror(e));
+                  std::string(kLostPrefix) + " (connect: " +
+                      std::strerror(e) + ")");
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_io_timeout(fd, cfg_.io_timeout_seconds);
   fd_ = fd;
   return Status::Ok();
 }
@@ -71,12 +169,18 @@ Status Client::send_all(const std::uint8_t* data, std::size_t len) {
   if (fd_ < 0) return lost("not connected");
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    const ssize_t n =
+        fault_send(fault_, FaultInjector::Site::kClientSend, fd_, data + off,
+                   len - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    // EAGAIN here is an io_timeout expiry (or an injected storm) on a
+    // blocking socket: the frame boundary is unknown, so the connection is
+    // unusable — surface a transport error and let the retry layer
+    // reconnect.
     return lost("send");
   }
   return Status::Ok();
@@ -93,7 +197,9 @@ Status Client::recv_frame(wire::Header* header,
   std::uint8_t hdr[wire::kHeaderBytes];
   std::size_t off = 0;
   while (off < sizeof(hdr)) {
-    const ssize_t n = ::recv(fd_, hdr + off, sizeof(hdr) - off, 0);
+    const ssize_t n =
+        fault_recv(fault_, FaultInjector::Site::kClientRecv, fd_, hdr + off,
+                   sizeof(hdr) - off, 0);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -106,7 +212,8 @@ Status Client::recv_frame(wire::Header* header,
   off = 0;
   while (off < payload->size()) {
     const ssize_t n =
-        ::recv(fd_, payload->data() + off, payload->size() - off, 0);
+        fault_recv(fault_, FaultInjector::Site::kClientRecv, fd_,
+                   payload->data() + off, payload->size() - off, 0);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -117,7 +224,169 @@ Status Client::recv_frame(wire::Header* header,
   return Status::Ok();
 }
 
+// --- resilience layer -------------------------------------------------
+
+void Client::backoff_sleep(int attempt) {
+  double base = cfg_.retry.initial_backoff_seconds;
+  for (int i = 0; i < attempt; ++i) base *= cfg_.retry.multiplier;
+  if (base > cfg_.retry.max_backoff_seconds) {
+    base = cfg_.retry.max_backoff_seconds;
+  }
+  // Deterministic jitter in [base/2, base): substream (seed, n-th backoff
+  // this client ever took) — replays exactly, decorrelates a retry herd.
+  util::Rng rng = util::Rng::substream(cfg_.retry.seed, backoff_stream_++);
+  sleep_seconds(base * (0.5 + 0.5 * rng.uniform()));
+}
+
+Status Client::reestablish_sessions() {
+  for (auto& [local, tracked] : sessions_) {
+    StatusOr<SessionId> r = create_session_once(tracked.cfg);
+    if (!r.ok()) return r.status();
+    tracked.remote = r.value();
+  }
+  return Status::Ok();
+}
+
+Status Client::reconnect() {
+  close();
+  const std::size_t n = endpoints_.size();
+  if (n == 0) return lost("no endpoints to reconnect to");
+  Status last = lost("no endpoint reachable");
+  // Round-robin from the NEXT endpoint: a dead server is the most likely
+  // reason we are here, so failover tries its peers before retrying it.
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t e = (current_endpoint_ + i) % n;
+    Status s = connect_fd(endpoints_[e].host, endpoints_[e].port);
+    if (!s.ok()) {
+      last = std::move(s);
+      continue;
+    }
+    current_endpoint_ = e;
+    // Session re-establishment: every virtualized session is re-created
+    // on the new server before the verb retries, so its local handle
+    // stays valid across the failover.
+    s = reestablish_sessions();
+    if (!s.ok()) {
+      last = std::move(s);
+      close();
+      continue;
+    }
+    return Status::Ok();
+  }
+  return last;
+}
+
+template <typename Op>
+Status Client::with_retry(const Op& op) {
+  Status s = op();
+  for (int attempt = 1;
+       transport_error(s) && attempt < cfg_.retry.max_attempts; ++attempt) {
+    backoff_sleep(attempt - 1);
+    if (Status r = reconnect(); !r.ok()) {
+      s = std::move(r);  // burn the attempt; maybe a peer comes up
+      continue;
+    }
+    s = op();
+  }
+  if (transport_error(s)) {
+    close();
+    return Status(StatusCode::kAborted,
+                  "retries exhausted: " + s.to_string());
+  }
+  return s;
+}
+
+Status Client::translate(SessionId local, SessionId* remote) const {
+  auto it = sessions_.find(local.index);
+  if (it == sessions_.end() || local.gen != 1) {
+    return Status(StatusCode::kNotFound, "unknown or stale session");
+  }
+  *remote = it->second.remote;
+  return Status::Ok();
+}
+
+// --- verbs ------------------------------------------------------------
+
 StatusOr<SessionId> Client::create_session(const SessionConfig& cfg) {
+  if (!resilient()) return create_session_once(cfg);
+  SessionId remote;
+  Status s = with_retry([&] {
+    StatusOr<SessionId> r = create_session_once(cfg);
+    if (!r.ok()) return r.status();
+    remote = r.value();
+    return Status::Ok();
+  });
+  if (!s.ok()) return s;
+  // Virtualized handle: retry-after-failover safe because the local id
+  // survives server-side recreation (create is made idempotent by
+  // tracking, not by the server).
+  const SessionId local{next_local_index_++, 1};
+  sessions_[local.index] = Tracked{cfg, remote};
+  return local;
+}
+
+Status Client::destroy_session(SessionId id) {
+  if (!resilient()) return destroy_session_once(id);
+  SessionId remote;
+  if (Status s = translate(id, &remote); !s.ok()) return s;
+  bool retried = false;
+  Status s = with_retry([&] {
+    // After a failover the tracked mapping is fresh; re-translate.
+    SessionId r;
+    if (Status t = translate(id, &r); !t.ok()) return t;
+    Status once = destroy_session_once(r);
+    if (retried && once.code() == StatusCode::kNotFound) {
+      // The previous attempt (or the server's own connection teardown)
+      // already destroyed it: destroy is idempotent up to kNotFound.
+      return Status::Ok();
+    }
+    retried = true;
+    return once;
+  });
+  if (s.ok() || s.code() == StatusCode::kNotFound) sessions_.erase(id.index);
+  return s;
+}
+
+StatusOr<RequestId> Client::submit(SessionId id,
+                                   const ScheduleRequest& request) {
+  if (!resilient()) return submit_once(id, request);
+  RequestId rid;
+  Status s = with_retry([&] {
+    SessionId remote;
+    if (Status t = translate(id, &remote); !t.ok()) return t;
+    StatusOr<RequestId> r = submit_once(remote, request);
+    if (!r.ok()) return r.status();
+    rid = r.value();
+    return Status::Ok();
+  });
+  if (!s.ok()) return s;
+  return rid;
+}
+
+Status Client::try_take(RequestId id, Completion* out) {
+  if (!resilient()) return take_once(wire::MsgType::kTryTake, id, out);
+  return with_retry(
+      [&] { return take_once(wire::MsgType::kTryTake, id, out); });
+}
+
+Status Client::wait(RequestId id, Completion* out) {
+  if (!resilient()) return take_once(wire::MsgType::kWait, id, out);
+  return with_retry([&] { return take_once(wire::MsgType::kWait, id, out); });
+}
+
+Status Client::schedule(SessionId id, const ScheduleRequest& request,
+                        ScheduleResult* out) {
+  if (!resilient()) return schedule_once(id, request, out);
+  return with_retry([&] {
+    // Safe to re-execute: scheduling is deterministic, so a retry after a
+    // lost reply recomputes bitwise the same result.
+    SessionId remote;
+    if (Status t = translate(id, &remote); !t.ok()) return t;
+    return schedule_once(remote, request, out);
+  });
+}
+
+StatusOr<SessionId> Client::create_session_once(const SessionConfig& cfg) {
   std::vector<std::uint8_t> f;
   const std::uint64_t tag = next_tag_++;
   wire::encode_create_session(f, tag, cfg);
@@ -136,7 +405,7 @@ StatusOr<SessionId> Client::create_session(const SessionConfig& cfg) {
   return id;
 }
 
-Status Client::destroy_session(SessionId id) {
+Status Client::destroy_session_once(SessionId id) {
   std::vector<std::uint8_t> f;
   const std::uint64_t tag = next_tag_++;
   wire::encode_destroy_session(f, tag, id);
@@ -153,8 +422,8 @@ Status Client::destroy_session(SessionId id) {
   return st;
 }
 
-StatusOr<RequestId> Client::submit(SessionId id,
-                                   const core::ScheduleRequest& request) {
+StatusOr<RequestId> Client::submit_once(SessionId id,
+                                        const ScheduleRequest& request) {
   std::vector<std::uint8_t> f;
   const std::uint64_t tag = next_tag_++;
   if (Status s = wire::encode_submit(f, wire::MsgType::kSubmit, tag, id,
@@ -177,10 +446,10 @@ StatusOr<RequestId> Client::submit(SessionId id,
   return RequestId{rid};
 }
 
-Status Client::try_take(RequestId id, Completion* out) {
+Status Client::take_once(wire::MsgType type, RequestId id, Completion* out) {
   std::vector<std::uint8_t> f;
   const std::uint64_t tag = next_tag_++;
-  wire::encode_take(f, wire::MsgType::kTryTake, tag, id.value);
+  wire::encode_take(f, type, tag, id.value);
   if (Status s = send_raw(f.data(), f.size()); !s.ok()) return s;
   std::uint64_t rtag = 0;
   Status st = recv_completion(&rtag, out);
@@ -188,21 +457,16 @@ Status Client::try_take(RequestId id, Completion* out) {
   return st;
 }
 
-Status Client::wait(RequestId id, Completion* out) {
+Status Client::schedule_once(SessionId id, const ScheduleRequest& request,
+                             ScheduleResult* out) {
+  const std::uint64_t tag = next_tag_++;
   std::vector<std::uint8_t> f;
-  const std::uint64_t tag = next_tag_++;
-  wire::encode_take(f, wire::MsgType::kWait, tag, id.value);
+  if (Status s = wire::encode_submit(f, wire::MsgType::kSchedule, tag, id,
+                                     request);
+      !s.ok()) {
+    return s;
+  }
   if (Status s = send_raw(f.data(), f.size()); !s.ok()) return s;
-  std::uint64_t rtag = 0;
-  Status st = recv_completion(&rtag, out);
-  if (st.ok() && rtag != tag) return protocol("mismatched reply tag");
-  return st;
-}
-
-Status Client::schedule(SessionId id, const core::ScheduleRequest& request,
-                        core::ScheduleResult* out) {
-  const std::uint64_t tag = next_tag_++;
-  if (Status s = send_schedule(id, request, tag); !s.ok()) return s;
   std::uint64_t rtag = 0;
   Completion c;
   if (Status s = recv_completion(&rtag, &c); !s.ok()) return s;
@@ -212,8 +476,7 @@ Status Client::schedule(SessionId id, const core::ScheduleRequest& request,
   return Status::Ok();
 }
 
-Status Client::send_schedule(SessionId id,
-                             const core::ScheduleRequest& request,
+Status Client::send_schedule(SessionId id, const ScheduleRequest& request,
                              std::uint64_t tag) {
   std::vector<std::uint8_t> f;
   if (Status s = wire::encode_submit(f, wire::MsgType::kSchedule, tag, id,
@@ -249,7 +512,7 @@ Status Client::recv_reply(wire::Header* header, Status* status) {
   if (!r.i32(&code) || !r.u32(&len)) return protocol("truncated status");
   const std::uint8_t* msg;
   if (!r.bytes(len, &msg)) return protocol("truncated status message");
-  if (code < 0 || code > static_cast<std::int32_t>(StatusCode::kInternal)) {
+  if (code < 0 || code > static_cast<std::int32_t>(core::kMaxStatusCode)) {
     return protocol("unknown status code");
   }
   *status = Status(static_cast<StatusCode>(code),

@@ -20,6 +20,15 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+std::chrono::steady_clock::time_point after_seconds(
+    std::chrono::steady_clock::time_point t0, double seconds) {
+  return t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+}
+
 /// Retry bound for schedule()'s submit-and-wait loop. Each retry requires
 /// losing a race against a dispatcher lifecycle transition (start(),
 /// stop(), or a concurrent drain()), so normal operation never takes more
@@ -29,7 +38,11 @@ constexpr int kScheduleAttempts = 8;
 }  // namespace
 
 Daemon::Daemon(DaemonConfig cfg)
-    : batch_(cfg.runtime.resolved().batch), max_sessions_(cfg.max_sessions) {
+    : batch_(cfg.runtime.resolved().batch),
+      max_sessions_(cfg.max_sessions),
+      max_queue_depth_(cfg.max_queue_depth),
+      shed_policy_(cfg.shed_policy),
+      drain_deadline_seconds_(cfg.drain_deadline_seconds) {
   const std::size_t n = cfg.dispatchers == 0 ? 1 : cfg.dispatchers;
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
@@ -44,7 +57,7 @@ Daemon::Daemon(DaemonConfig cfg)
   }
 }
 
-Daemon::~Daemon() { stop(); }
+Daemon::~Daemon() { shutdown(drain_deadline_seconds_); }
 
 std::uint32_t Daemon::register_policy(const rl::Policy& policy) {
   std::lock_guard<std::mutex> l(mu_);
@@ -127,6 +140,17 @@ StatusOr<RequestId> Daemon::submit(SessionId id,
   if (slot == nullptr) {
     return Status(StatusCode::kNotFound, "unknown or stale session");
   }
+  Shard& shard = *shards_[shard_of(slot->cfg.policy)];
+  if (max_queue_depth_ > 0 && shard.queued >= max_queue_depth_) {
+    if (shed_policy_ == ShedPolicy::kRejectNew) {
+      ++stats_.requests_rejected;  // never counted as submitted
+      return Status(StatusCode::kResourceExhausted,
+                    "shard queue full (reject-new admission policy)");
+    }
+    // Shed-oldest: the oldest queued request on this shard completes as
+    // kResourceExhausted and the new one takes its place.
+    shed_oldest_locked(shard);
+  }
   PendingRequest pr;
   pr.id = next_request_id_++;
   if (request.jobs != nullptr) {
@@ -141,11 +165,32 @@ StatusOr<RequestId> Daemon::submit(SessionId id,
   pr.backfill = request.backfill;
   pr.chunk_jobs = request.chunk_jobs;
   pr.submitted = std::chrono::steady_clock::now();
+  if (request.deadline_seconds > 0.0) {
+    pr.deadline = after_seconds(pr.submitted, request.deadline_seconds);
+  }
   const RequestId rid{pr.id};
   inflight_.insert(pr.id);
   slot->queue.push_back(std::move(pr));
-  Shard& shard = *shards_[shard_of(slot->cfg.policy)];
   ++shard.queued;
+  if (max_queue_depth_ > 0 && shed_policy_ == ShedPolicy::kShedOldest) {
+    shard.fifo.emplace_back(slot->index, rid.value);
+    // Stale entries (requests that left their queue through admission,
+    // expiry, shed, or destroy) accumulate until shed pops them; compact
+    // once they dominate so the fifo stays O(queued).
+    if (shard.fifo.size() > 2 * shard.queued + 64) {
+      std::deque<std::pair<std::uint32_t, std::uint64_t>> live;
+      for (const auto& [idx, req] : shard.fifo) {
+        const Slot& s = *slots_[idx];
+        // Per slot the queue is a contiguous run of its submission ids
+        // (every removal path pops the front), so a range check is exact.
+        if (s.live && !s.queue.empty() && req >= s.queue.front().id &&
+            req <= s.queue.back().id) {
+          live.emplace_back(idx, req);
+        }
+      }
+      shard.fifo.swap(live);
+    }
+  }
   ++stats_.requests_submitted;
   if (!slot->active && !slot->ready) {
     slot->ready = true;
@@ -281,6 +326,70 @@ void Daemon::stop() {
   }
 }
 
+bool Daemon::shed_oldest_locked(Shard& shard) {
+  while (!shard.fifo.empty()) {
+    const auto [idx, req] = shard.fifo.front();
+    shard.fifo.pop_front();
+    Slot* slot = slots_[idx].get();
+    // A live entry's request is its slot's queue FRONT: within one slot
+    // every removal path (admission, expiry, shed, destroy) consumes the
+    // front, and the shard fifo holds this slot's older ids earlier — so
+    // anything else is a stale entry for an already-removed request.
+    if (!slot->live || slot->queue.empty() ||
+        slot->queue.front().id != req) {
+      continue;
+    }
+    PendingRequest& f = slot->queue.front();
+    complete_locked(f.id, f.submitted,
+                    Status(StatusCode::kResourceExhausted,
+                           "shed under overload (oldest queued request)"),
+                    ScheduleResult{});
+    slot->queue.pop_front();
+    --shard.queued;
+    return true;
+  }
+  return false;
+}
+
+void Daemon::shutdown(double drain_deadline_seconds) {
+  stop();
+  if (drain_deadline_seconds > 0.0) {
+    const auto deadline =
+        after_seconds(std::chrono::steady_clock::now(), drain_deadline_seconds);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      ++active_drainers_;  // wait()ers may block on this drain
+    }
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> dl(shard->dispatch_mu);
+      run_until_idle(*shard, deadline);
+    }
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      --active_drainers_;
+    }
+    done_cv_.notify_all();
+  }
+  // Whatever is still queued will never run — deliver kCancelled for each
+  // so nothing is silently dropped and the stats balance survives
+  // destruction: submitted == completed + cancelled + shed.
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& owned : slots_) {
+    Slot& slot = *owned;
+    if (!slot.live || slot.queue.empty()) continue;
+    Shard& shard = *shards_[shard_of(slot.cfg.policy)];
+    for (PendingRequest& r : slot.queue) {
+      complete_locked(r.id, r.submitted,
+                      Status(StatusCode::kCancelled, "daemon shutdown"),
+                      ScheduleResult{});
+      --shard.queued;
+    }
+    slot.queue.clear();
+    if (slot.env) env_pool_.push_back(std::move(slot.env));
+  }
+  for (auto& shard : shards_) shard->fifo.clear();
+}
+
 std::size_t Daemon::live_sessions() const {
   std::lock_guard<std::mutex> l(mu_);
   return stats_.live_sessions;
@@ -308,9 +417,25 @@ void Daemon::dispatcher_loop(Shard& shard) {
   }
 }
 
-std::size_t Daemon::run_until_idle(Shard& shard) {
+std::size_t Daemon::run_until_idle(
+    Shard& shard, std::chrono::steady_clock::time_point deadline) {
   shard.run_completed = 0;
+  const bool bounded = deadline != kNoDeadline;
   for (;;) {
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      // Drain budget exhausted mid-flight: an abandoned active slot would
+      // wedge its session forever, so in-flight episodes cancel here and
+      // shutdown() cancels whatever is still queued.
+      for (auto& bucket : shard.active_by_policy) {
+        for (Slot* slot : bucket) {
+          finish_request(shard, *slot,
+                         Status(StatusCode::kCancelled,
+                                "shutdown drain deadline expired"));
+        }
+        bucket.clear();
+      }
+      break;
+    }
     admit_ready_sessions(shard);
     if (!any_active(shard)) break;
     step_active_once(shard);
@@ -332,6 +457,8 @@ void Daemon::admit_ready_sessions(Shard& shard) {
     if (shard.active_by_policy.size() < policies_.size()) {
       shard.active_by_policy.resize(policies_.size());
     }
+    std::chrono::steady_clock::time_point now{};
+    bool have_now = false;
     while (!shard.ready.empty()) {
       Slot* slot = slots_[shard.ready.front()].get();
       shard.ready.pop_front();
@@ -344,6 +471,29 @@ void Daemon::admit_ready_sessions(Shard& shard) {
       // deque; admitting it here would drive the new tenant's policy from
       // the wrong thread. Its genuine entry lives in the right deque.
       if (shard_of(slot->cfg.policy) != shard.id) continue;
+      // Admission-time deadline enforcement: work that expired while
+      // queued completes kDeadlineExceeded here, before any env attaches.
+      // The clock is read at most once per admit pass, and only when some
+      // front actually carries a deadline.
+      while (!slot->queue.empty() &&
+             slot->queue.front().deadline != kNoDeadline) {
+        if (!have_now) {
+          now = std::chrono::steady_clock::now();
+          have_now = true;
+        }
+        if (now < slot->queue.front().deadline) break;
+        PendingRequest& f = slot->queue.front();
+        complete_locked(f.id, f.submitted,
+                        Status(StatusCode::kDeadlineExceeded,
+                               "deadline expired before admission"),
+                        ScheduleResult{});
+        slot->queue.pop_front();
+        --shard.queued;
+      }
+      if (slot->queue.empty()) {
+        if (slot->env) env_pool_.push_back(std::move(slot->env));
+        continue;
+      }
       slot->current = std::move(slot->queue.front());
       slot->queue.pop_front();
       --shard.queued;
@@ -379,6 +529,16 @@ bool Daemon::activate(Shard& shard, Slot& slot) {
   const std::size_t total =
       slot.current.stream != nullptr ? 1 : slot.current.seqs.size();
   while (slot.seq_index < total) {
+    // Deadlined requests re-check between sequences: a multi-sequence
+    // request abandons its remaining episodes once expired (the clock is
+    // only read when a finite deadline is present).
+    if (slot.current.deadline != kNoDeadline &&
+        std::chrono::steady_clock::now() >= slot.current.deadline) {
+      finish_request(shard, slot,
+                     Status(StatusCode::kDeadlineExceeded,
+                            "deadline expired at dispatch"));
+      return false;
+    }
     try {
       slot.env->reconfigure(
           slot.current.processors,
@@ -405,6 +565,11 @@ bool Daemon::activate(Shard& shard, Slot& slot) {
 
 void Daemon::step_active_once(Shard& shard) {
   std::uint64_t stepped = 0;
+  // Lazy per-call clock: read at most once, and only if some in-flight
+  // episode actually carries a deadline — the no-deadline hot path costs
+  // one pointer compare per step.
+  std::chrono::steady_clock::time_point now{};
+  bool have_now = false;
   for (auto& bucket : shard.active_by_policy) {
     if (bucket.empty()) continue;
     const rl::Policy& policy = *bucket.front()->policy;
@@ -435,6 +600,20 @@ void Daemon::step_active_once(Shard& shard) {
         }
         ++stepped;
         if (!done) {
+          if (slot->current.deadline != kNoDeadline) {
+            if (!have_now) {
+              now = std::chrono::steady_clock::now();
+              have_now = true;
+            }
+            if (now >= slot->current.deadline) {
+              // Abandon the expired episode between inference steps; the
+              // env resets on its next use.
+              finish_request(shard, *slot,
+                             Status(StatusCode::kDeadlineExceeded,
+                                    "deadline expired mid-dispatch"));
+              continue;
+            }
+          }
           bucket[write++] = slot;
           continue;
         }
@@ -489,17 +668,23 @@ void Daemon::complete_locked(std::uint64_t id,
                              Status status, ScheduleResult result) {
   Completion c;
   c.latency_seconds = seconds_since(submitted);
-  const bool cancelled = status.code() == StatusCode::kCancelled;
+  const StatusCode code = status.code();
   const bool ok = status.ok();
   c.status = std::move(status);
   c.result = std::move(result);
   inflight_.erase(id);
   completions_.emplace(id, std::move(c));
-  if (cancelled) {
+  if (code == StatusCode::kCancelled) {
     ++stats_.requests_cancelled;
+  } else if (code == StatusCode::kResourceExhausted) {
+    // Load-shed under overload: its own bucket so the balance invariant
+    // (submitted == completed + cancelled + shed) separates degraded
+    // service from normal completion.
+    ++stats_.requests_shed;
   } else {
     ++stats_.requests_completed;
     if (!ok) ++stats_.requests_failed;
+    if (code == StatusCode::kDeadlineExceeded) ++stats_.requests_expired;
   }
   done_cv_.notify_all();
   // Last, with mu_ held: the hook must only queue-and-wake (see header).

@@ -1,0 +1,113 @@
+#include "serve/fault.hpp"
+
+#include <time.h>
+
+#include <sys/socket.h>
+
+#include "util/rng.hpp"
+
+namespace rlsched::serve {
+
+namespace {
+
+// Site salts keep the four decision streams decorrelated even at op 0.
+constexpr std::uint64_t kSiteSalt[] = {
+    0xC13FA9A902A6328FULL,  // kClientSend
+    0x91E10DA5C79E7B1DULL,  // kClientRecv
+    0x8CB92BA72F3D8DD7ULL,  // kServerSend
+    0xD6E8FEB86659FD93ULL,  // kServerRecv
+};
+
+void nanosleep_us(std::uint32_t us) {
+  timespec ts;
+  ts.tv_sec = us / 1000000u;
+  ts.tv_nsec = static_cast<long>(us % 1000000u) * 1000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+FaultInjector::Action FaultInjector::decide(Site site) {
+  const std::size_t s = static_cast<std::size_t>(site);
+  const std::uint64_t op =
+      counters_[s].ops.fetch_add(1, std::memory_order_relaxed);
+  // (seed, site, op#) -> [0, 1) through the splitmix64 finalizer: the
+  // decision stream per site is a pure function of the plan, never of
+  // scheduling.
+  const std::uint64_t bits =
+      util::Rng::mix64(plan_.seed ^ kSiteSalt[s] ^ (op * 0x9E3779B97F4A7C15ULL));
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  double edge = plan_.disconnect;
+  if (u < edge) return Action::kDisconnect;
+  edge += plan_.eagain;
+  if (u < edge) return Action::kEagain;
+  edge += plan_.short_io;
+  if (u < edge) return Action::kShortIo;
+  edge += plan_.delay;
+  if (u < edge) return Action::kDelay;
+  return Action::kNone;
+}
+
+ssize_t FaultInjector::send(Site site, int fd, const void* buf,
+                            std::size_t len, int flags) {
+  switch (decide(site)) {
+    case Action::kDisconnect: {
+      if (len > 1) {
+        // Torn frame: half the bytes land, then the connection dies — the
+        // peer reads a valid prefix followed by EOF mid-frame.
+        (void)::send(fd, buf, len / 2, flags);
+      }
+      ::shutdown(fd, SHUT_RDWR);
+      errno = ECONNRESET;
+      return -1;
+    }
+    case Action::kEagain:
+      errno = EAGAIN;
+      return -1;
+    case Action::kShortIo:
+      return ::send(fd, buf, 1, flags);
+    case Action::kDelay:
+      nanosleep_us(plan_.delay_us);
+      break;
+    case Action::kNone:
+      break;
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t FaultInjector::recv(Site site, int fd, void* buf, std::size_t len,
+                            int flags) {
+  switch (decide(site)) {
+    case Action::kDisconnect:
+      ::shutdown(fd, SHUT_RDWR);
+      errno = ECONNRESET;
+      return -1;
+    case Action::kEagain:
+      errno = EAGAIN;
+      return -1;
+    case Action::kShortIo:
+      return ::recv(fd, buf, 1, flags);
+    case Action::kDelay:
+      nanosleep_us(plan_.delay_us);
+      break;
+    case Action::kNone:
+      break;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t fault_send(FaultInjector* f, FaultInjector::Site site, int fd,
+                   const void* buf, std::size_t len, int flags) {
+  if (f == nullptr) return ::send(fd, buf, len, flags);
+  return f->send(site, fd, buf, len, flags);
+}
+
+ssize_t fault_recv(FaultInjector* f, FaultInjector::Site site, int fd,
+                   void* buf, std::size_t len, int flags) {
+  if (f == nullptr) return ::recv(fd, buf, len, flags);
+  return f->recv(site, fd, buf, len, flags);
+}
+
+}  // namespace rlsched::serve

@@ -192,10 +192,13 @@ void Server::event_loop() {
 }
 
 void Server::handle_readable(const std::shared_ptr<Conn>& conn) {
+  // Uncontended by EPOLLONESHOT; see Conn::read_mu for why it exists.
+  std::lock_guard<std::mutex> read_lock(conn->read_mu);
   bool closing = false;
   for (;;) {  // edge-triggered: drain until EAGAIN or EOF
     std::uint8_t chunk[64 * 1024];
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = fault_recv(cfg_.fault, FaultInjector::Site::kServerRecv,
+                                 conn->fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
       conn->rbuf.insert(conn->rbuf.end(), chunk, chunk + n);
       continue;
@@ -426,8 +429,9 @@ void Server::write_frame(const std::shared_ptr<Conn>& conn,
   std::size_t off = 0;
   int stalls = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::send(conn->fd, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
+    const ssize_t n = fault_send(cfg_.fault, FaultInjector::Site::kServerSend,
+                                 conn->fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       stalls = 0;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 namespace rlsched::serve::wire {
@@ -49,7 +50,7 @@ Status get_status(Reader& r, Status* out) {
   std::int32_t code;
   std::uint32_t len;
   if (!r.i32(&code) || !r.u32(&len)) return malformed("truncated status");
-  if (code < 0 || code > static_cast<std::int32_t>(StatusCode::kInternal)) {
+  if (code < 0 || code > static_cast<std::int32_t>(core::kMaxStatusCode)) {
     return malformed("unknown status code");
   }
   const std::uint8_t* msg;
@@ -232,6 +233,7 @@ Status encode_submit(std::vector<std::uint8_t>& out, MsgType type,
   put_i32(p, request.processors);
   put_u8(p, request.backfill ? 1 : 0);
   put_u64(p, static_cast<std::uint64_t>(request.chunk_jobs));
+  put_f64(p, request.deadline_seconds);
   if (single) {
     put_u32(p, 1);
     put_u32(p, static_cast<std::uint32_t>(request.jobs->size()));
@@ -252,13 +254,19 @@ Status decode_submit(Reader& r, SessionId* id, DecodedRequest* out) {
   std::uint8_t backfill;
   std::int32_t procs;
   std::uint64_t chunk;
+  double deadline;
   std::uint32_t nseq;
   if (!r.u32(&id->index) || !r.u32(&id->gen) || !r.u8(&kind) ||
-      !r.i32(&procs) || !r.u8(&backfill) || !r.u64(&chunk) || !r.u32(&nseq)) {
+      !r.i32(&procs) || !r.u8(&backfill) || !r.u64(&chunk) ||
+      !r.f64(&deadline) || !r.u32(&nseq)) {
     return malformed("truncated submit");
   }
   if (kind > 1) return malformed("unknown request kind");
   if (backfill > 1) return malformed("non-boolean backfill byte");
+  // NaN compares false on both sides, so this also rejects NaN deadlines.
+  if (!(deadline >= 0.0 && deadline < std::numeric_limits<double>::infinity())) {
+    return malformed("deadline must be finite and >= 0");
+  }
   if (kind == 0 && nseq != 1) {
     return malformed("single-sequence request with sequence count != 1");
   }
@@ -271,6 +279,7 @@ Status decode_submit(Reader& r, SessionId* id, DecodedRequest* out) {
   out->processors = procs;
   out->backfill = backfill != 0;
   out->chunk_jobs = static_cast<std::size_t>(chunk);
+  out->deadline_seconds = deadline;
   out->sequences.clear();
   out->sequences.reserve(nseq);
   for (std::uint32_t s = 0; s < nseq; ++s) {

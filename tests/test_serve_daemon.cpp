@@ -332,8 +332,9 @@ int main() {
     CHECK(daemon.live_sessions() == 0);
     const auto stats = daemon.stats();
     CHECK(stats.sessions_created == stats.sessions_destroyed);
-    CHECK(stats.requests_submitted ==
-          stats.requests_completed + stats.requests_cancelled);
+    CHECK(stats.requests_submitted == stats.requests_completed +
+                                          stats.requests_cancelled +
+                                          stats.requests_shed);
     CHECK(stats.requests_failed == 0);
 
     // Work queued after stop() is served by a later drain on the caller.
@@ -482,9 +483,87 @@ int main() {
     // the now-quiet daemon serves every leftover, so nothing is lost.
     CHECK(daemon.drain().ok());
     const auto stats = daemon.stats();
-    CHECK(stats.requests_submitted ==
-          stats.requests_completed + stats.requests_cancelled);
+    CHECK(stats.requests_submitted == stats.requests_completed +
+                                          stats.requests_cancelled +
+                                          stats.requests_shed);
     CHECK(stats.requests_failed == 0);
+  }
+
+  // --- 7. shutdown/destruction accounting: nothing silently dropped ------
+  {
+    // shutdown(0): no drain budget, every queued request must come back as
+    // a DELIVERED kCancelled completion — the stats balance to the request,
+    // which is the invariant ~Daemon() relies on.
+    Daemon daemon(daemon_config(4));
+    const std::uint32_t pid = daemon.register_policy(*policy);
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    auto sid = daemon.create_session(sc).value();
+    ScheduleRequest req;
+    req.jobs = &seqs[0];
+    req.backfill = true;
+    std::vector<RequestId> rids;
+    for (int i = 0; i < 5; ++i) rids.push_back(daemon.submit(sid, req).value());
+    daemon.shutdown(0.0);
+    for (const RequestId rid : rids) {
+      Completion c;
+      CHECK(daemon.try_take(rid, &c).ok());
+      CHECK(c.status.code() == StatusCode::kCancelled);
+    }
+    const auto stats = daemon.stats();
+    CHECK(stats.requests_submitted == 5);
+    CHECK(stats.requests_cancelled == 5);
+    CHECK(stats.requests_submitted == stats.requests_completed +
+                                          stats.requests_cancelled +
+                                          stats.requests_shed);
+  }
+  {
+    // A generous drain budget instead SERVES the queue before stopping.
+    Daemon daemon(daemon_config(4));
+    const std::uint32_t pid = daemon.register_policy(*policy);
+    SessionConfig sc;
+    sc.processors = procs;
+    sc.policy = pid;
+    auto sid = daemon.create_session(sc).value();
+    ScheduleRequest req;
+    req.jobs = &seqs[2];
+    req.backfill = true;
+    auto rid = daemon.submit(sid, req).value();
+    daemon.shutdown(60.0);
+    Completion c;
+    CHECK(daemon.try_take(rid, &c).ok());
+    CHECK(c.status.ok());
+    CHECK(sim::bitwise_equal(c.result.run(), expect[2]));
+    const auto stats = daemon.stats();
+    CHECK(stats.requests_completed == 1);
+    CHECK(stats.requests_cancelled == 0);
+  }
+  {
+    // Destruction itself: the completion hook observes one terminal
+    // completion per submitted request even when the daemon dies with work
+    // still queued (the destructor runs shutdown, not a silent drop).
+    std::atomic<std::uint64_t> delivered{0};
+    {
+      DaemonConfig cfg = daemon_config(4);
+      cfg.drain_deadline_seconds = 0.0;  // destructor cancels, immediately
+      Daemon daemon(cfg);
+      const std::uint32_t pid = daemon.register_policy(*policy);
+      daemon.set_completion_hook(
+          [](void* ctx, std::uint64_t) {
+            static_cast<std::atomic<std::uint64_t>*>(ctx)->fetch_add(1);
+          },
+          &delivered);
+      SessionConfig sc;
+      sc.processors = procs;
+      sc.policy = pid;
+      auto sid = daemon.create_session(sc).value();
+      ScheduleRequest req;
+      req.jobs = &seqs[0];
+      req.backfill = true;
+      for (int i = 0; i < 3; ++i) CHECK(daemon.submit(sid, req).ok());
+    }
+    CHECK(delivered.load() == 3);
   }
 
   std::puts("serve daemon: OK");

@@ -240,7 +240,7 @@ int main() {
     wire::encode_take(valid, wire::MsgType::kTryTake, 7, 123);
 
     auto copy = valid;
-    copy[4] = 2;  // future version byte
+    copy[4] = 3;  // future version byte
     expect_rejected(server.port(), copy, "bad version");
     copy = valid;
     copy[6] = 0xFF;  // nonzero reserved
